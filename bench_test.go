@@ -1,0 +1,348 @@
+// Benchmarks regenerating the paper's evaluation (Figures 7–11), plus
+// ablation and micro benchmarks. Each figure bench runs a scaled-down
+// configuration of the corresponding experiment and reports latency
+// percentiles as custom metrics (p50-ms / p90-ms); `cmd/spider-bench`
+// runs the same experiments at full fidelity and prints the complete
+// tables. Absolute numbers depend on the host; the *shape* (who wins,
+// by what factor) is the reproduction target — see EXPERIMENTS.md.
+package spider_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spider"
+	"spider/internal/core"
+	"spider/internal/crypto"
+	"spider/internal/harness"
+	"spider/internal/ids"
+	"spider/internal/stats"
+	"spider/internal/topo"
+	"spider/internal/wire"
+)
+
+// benchProfile keeps figure benches short: ~1.6s measurement per
+// configuration at 35% of real WAN latency.
+func benchProfile() harness.RunProfile {
+	return harness.RunProfile{
+		Scale:    0.35,
+		Clients:  2,
+		Rate:     15,
+		Duration: 1600 * time.Millisecond,
+		Warmup:   400 * time.Millisecond,
+		Suite:    crypto.SuiteInsecure,
+		Seed:     1,
+	}
+}
+
+// reportRows aggregates rows into per-system p50/p90 metrics.
+func reportRows(b *testing.B, rows []harness.LatencyRow) {
+	b.Helper()
+	perSystem := make(map[string]*stats.Recorder)
+	for _, row := range rows {
+		rec, ok := perSystem[row.System]
+		if !ok {
+			rec = stats.NewRecorder()
+			perSystem[row.System] = rec
+		}
+		// Aggregate medians weighted equally per region.
+		if row.Summary.Count > 0 {
+			rec.Record(row.Summary.P50)
+		}
+	}
+	for system, rec := range perSystem {
+		s := rec.Summarize()
+		b.ReportMetric(float64(s.Mean)/float64(time.Millisecond), system+"-p50-ms")
+	}
+}
+
+// latencyBench runs one system/kind combination b.N times.
+func latencyBench(b *testing.B, system harness.System, kind core.RequestKind, mutate func(*harness.BuildOptions)) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		cluster, err := harness.Build(buildOpts(p, system, mutate))
+		if err != nil {
+			b.Fatal(err)
+		}
+		recorders, err := cluster.RunWorkload(cluster.Opts.Regions, harness.Workload{
+			ClientsPerRegion: p.Clients,
+			Rate:             p.Rate,
+			Duration:         p.Duration,
+			Warmup:           p.Warmup,
+			Kind:             kind,
+			ValueSize:        200,
+		})
+		if err != nil {
+			cluster.Stop()
+			b.Fatal(err)
+		}
+		merged := stats.NewRecorder()
+		for _, rec := range recorders {
+			merged.Merge(rec)
+		}
+		s := merged.Summarize()
+		b.ReportMetric(float64(s.P50)/float64(time.Millisecond), "p50-ms")
+		b.ReportMetric(float64(s.P90)/float64(time.Millisecond), "p90-ms")
+		cluster.Stop()
+	}
+}
+
+func buildOpts(p harness.RunProfile, system harness.System, mutate func(*harness.BuildOptions)) harness.BuildOptions {
+	opts := harness.BuildOptions{
+		System:    system,
+		Scale:     p.Scale,
+		SuiteKind: p.Suite,
+		Seed:      p.Seed,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	return opts
+}
+
+// --- Figure 7: write latency ------------------------------------------------
+
+func BenchmarkFigure7WritesSpider(b *testing.B) {
+	latencyBench(b, harness.SystemSpider, core.KindWrite, nil)
+}
+
+func BenchmarkFigure7WritesBFT(b *testing.B) {
+	latencyBench(b, harness.SystemBFT, core.KindWrite, nil)
+}
+
+func BenchmarkFigure7WritesHFT(b *testing.B) {
+	latencyBench(b, harness.SystemHFT, core.KindWrite, nil)
+}
+
+// BenchmarkFigure7LeaderPlacement runs the full leader sweep once per
+// iteration and reports the spread Spider's design eliminates.
+func BenchmarkFigure7LeaderPlacement(b *testing.B) {
+	p := benchProfile()
+	p.Duration = 1200 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// --- Figure 8: reads ----------------------------------------------------------
+
+func BenchmarkFigure8StrongReads(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure8(p, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+func BenchmarkFigure8WeakReads(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure8(p, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// --- Figure 9a: modularity impact ---------------------------------------------
+
+func BenchmarkFigure9Modularity(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Figure9a(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+	}
+}
+
+// --- Figures 9b-9d: IRMC microbenchmarks ---------------------------------------
+
+func benchIRMC(b *testing.B, kind string, size int) {
+	for i := 0; i < b.N; i++ {
+		row, err := harness.RunIRMCBench(harness.IRMCBenchOptions{
+			Kind:     kind,
+			Size:     size,
+			Duration: 1500 * time.Millisecond,
+			Scale:    0.1,
+			Suite:    crypto.SuiteRSA, // CPU effects need real signatures
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.Throughput, "msg/s")
+		b.ReportMetric(100*row.SenderCPU, "sndCPU%")
+		b.ReportMetric(100*row.ReceiverCPU, "rcvCPU%")
+		b.ReportMetric(row.WANMBps, "WAN-MB/s")
+	}
+}
+
+func BenchmarkFigure9IRMCRC256(b *testing.B)  { benchIRMC(b, "rc", 256) }
+func BenchmarkFigure9IRMCRC4096(b *testing.B) { benchIRMC(b, "rc", 4096) }
+func BenchmarkFigure9IRMCSC256(b *testing.B)  { benchIRMC(b, "sc", 256) }
+func BenchmarkFigure9IRMCSC4096(b *testing.B) { benchIRMC(b, "sc", 4096) }
+
+// --- Figure 10: adaptability ----------------------------------------------------
+
+func BenchmarkFigure10Adaptability(b *testing.B) {
+	p := benchProfile()
+	p.Duration = 1500 * time.Millisecond // per phase
+	for i := 0; i < b.N; i++ {
+		series, err := harness.Figure10(p, core.KindWrite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for system, points := range series {
+			var sum time.Duration
+			n := 0
+			for _, pt := range points {
+				if pt.Count > 0 {
+					sum += pt.Mean
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(float64(sum/time.Duration(n))/float64(time.Millisecond), system+"-mean-ms")
+			}
+		}
+	}
+}
+
+// --- Figure 11: f=2 --------------------------------------------------------------
+
+func BenchmarkFigure11F2Spider(b *testing.B) {
+	latencyBench(b, harness.SystemSpider, core.KindWrite, func(o *harness.BuildOptions) { o.F = 2 })
+}
+
+func BenchmarkFigure11F2BFT(b *testing.B) {
+	latencyBench(b, harness.SystemBFT, core.KindWrite, func(o *harness.BuildOptions) { o.F = 2 })
+}
+
+func BenchmarkFigure11F2HFT(b *testing.B) {
+	latencyBench(b, harness.SystemHFT, core.KindWrite, func(o *harness.BuildOptions) { o.F = 2 })
+}
+
+// --- ablations --------------------------------------------------------------------
+
+// BenchmarkAblationIRMCSC measures Spider end to end over the
+// IRMC-SC channel (DESIGN.md: channel implementation choice).
+func BenchmarkAblationIRMCSC(b *testing.B) {
+	latencyBench(b, harness.SystemSpider, core.KindWrite, func(o *harness.BuildOptions) {
+		o.Channel = core.ChannelSC
+	})
+}
+
+// BenchmarkAblationSlackGroups measures z=1 (agreement group does not
+// wait for the slowest execution group; Section 3.5).
+func BenchmarkAblationSlackGroups(b *testing.B) {
+	latencyBench(b, harness.SystemSpider, core.KindWrite, func(o *harness.BuildOptions) {
+		o.SlackGroups = 1
+	})
+}
+
+// BenchmarkAblationRealCrypto runs Spider with RSA-1024 signatures as
+// in the paper, quantifying what the fast test crypto hides.
+func BenchmarkAblationRealCrypto(b *testing.B) {
+	p := benchProfile()
+	for i := 0; i < b.N; i++ {
+		cluster, err := harness.Build(harness.BuildOptions{
+			System:    harness.SystemSpider,
+			Scale:     p.Scale,
+			SuiteKind: crypto.SuiteRSA,
+			Seed:      p.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recorders, err := cluster.RunWorkload(cluster.Opts.Regions, harness.Workload{
+			ClientsPerRegion: p.Clients, Rate: p.Rate,
+			Duration: p.Duration, Warmup: p.Warmup,
+			Kind: core.KindWrite, ValueSize: 200,
+		})
+		if err != nil {
+			cluster.Stop()
+			b.Fatal(err)
+		}
+		merged := stats.NewRecorder()
+		for _, rec := range recorders {
+			merged.Merge(rec)
+		}
+		b.ReportMetric(float64(merged.Summarize().P50)/float64(time.Millisecond), "p50-ms")
+		cluster.Stop()
+	}
+}
+
+// --- micro benchmarks ----------------------------------------------------------------
+
+func BenchmarkMicroRSASign(b *testing.B) {
+	suites := crypto.NewSuites([]ids.NodeID{1}, crypto.SuiteRSA)
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suites[1].Sign(crypto.DomainPBFT, msg)
+	}
+}
+
+func BenchmarkMicroRSAVerify(b *testing.B) {
+	suites := crypto.NewSuites([]ids.NodeID{1, 2}, crypto.SuiteRSA)
+	msg := make([]byte, 256)
+	sig := suites[1].Sign(crypto.DomainPBFT, msg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := suites[2].Verify(1, crypto.DomainPBFT, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroWireEncode(b *testing.B) {
+	op := core.ClientRequest{Kind: core.KindWrite, Client: 7, Counter: 42, Op: make([]byte, 200)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = wire.Encode(&op)
+	}
+}
+
+func BenchmarkMicroKVExecute(b *testing.B) {
+	kv := spider.NewKVStore()
+	op := spider.PutOp("key", make([]byte, 200))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kv.Execute(op)
+	}
+}
+
+// BenchmarkMicroEndToEndWrite measures a single client's write path on
+// a minimal-latency deployment (protocol overhead without the WAN).
+func BenchmarkMicroEndToEndWrite(b *testing.B) {
+	cluster, err := harness.Build(harness.BuildOptions{
+		System:    harness.SystemSpider,
+		Regions:   []topo.Region{topo.Virginia},
+		Scale:     0.001,
+		SuiteKind: crypto.SuiteInsecure,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Stop()
+	client, err := cluster.NewClient(topo.Virginia)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Write(spider.PutOp(fmt.Sprintf("k%d", i%64), []byte("v"))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

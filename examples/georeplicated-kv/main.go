@@ -1,0 +1,84 @@
+// Command georeplicated-kv demonstrates the latency profile that
+// motivates Spider's architecture (Sections 1 and 5 of the paper): it
+// deploys execution groups in four regions, runs clients on every
+// continent, and prints per-region write / strong-read / weak-read
+// latency percentiles. Writes pay exactly one wide-area round trip to
+// the agreement region; weak reads never leave the client's region.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"spider"
+)
+
+const opsPerClient = 20
+
+func main() {
+	cluster, err := spider.NewLocalCluster(spider.LocalClusterOptions{
+		LatencyScale: 1.0, // calibrated EC2 latencies
+	})
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	defer cluster.Stop()
+
+	regions := cluster.Regions()
+	fmt.Println("regions:", regions)
+	fmt.Printf("%-10s %14s %14s %14s\n", "client", "write p50", "strong p50", "weak p50")
+
+	type row struct {
+		region spider.Region
+		write  spider.Summary
+		strong spider.Summary
+		weak   spider.Summary
+	}
+	rows := make([]row, len(regions))
+	var wg sync.WaitGroup
+	for i, region := range regions {
+		wg.Add(1)
+		go func(i int, region spider.Region) {
+			defer wg.Done()
+			client, err := cluster.NewClient(region)
+			if err != nil {
+				log.Fatalf("client %s: %v", region, err)
+			}
+			key := "account-" + string(region)
+
+			write, err := spider.Timings(opsPerClient, func() error {
+				_, err := client.Write(spider.IncOp(key, 1))
+				return err
+			})
+			if err != nil {
+				log.Fatalf("%s writes: %v", region, err)
+			}
+			strong, err := spider.Timings(opsPerClient, func() error {
+				_, err := client.StrongRead(spider.GetOp(key))
+				return err
+			})
+			if err != nil {
+				log.Fatalf("%s strong reads: %v", region, err)
+			}
+			weak, err := spider.Timings(opsPerClient, func() error {
+				_, err := client.WeakRead(spider.GetOp(key))
+				return err
+			})
+			if err != nil {
+				log.Fatalf("%s weak reads: %v", region, err)
+			}
+			rows[i] = row{region: region, write: write, strong: strong, weak: weak}
+		}(i, region)
+	}
+	wg.Wait()
+
+	for _, r := range rows {
+		fmt.Printf("%-10s %12.1fms %12.1fms %12.1fms\n",
+			r.region, ms(r.write), ms(r.strong), ms(r.weak))
+	}
+	fmt.Println("\nwrites and strong reads pay one WAN round trip to the agreement region;")
+	fmt.Println("weak reads stay inside the client's region (the paper's Figures 7 and 8).")
+}
+
+func ms(s spider.Summary) float64 { return float64(s.P50.Microseconds()) / 1000 }

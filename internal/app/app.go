@@ -1,0 +1,29 @@
+// Package app defines the deterministic state-machine abstraction that
+// execution replicas host (Definition A.14 in the paper: different
+// instances processing the same totally ordered writes reach identical
+// states) and provides the key-value store used as the evaluation
+// workload.
+package app
+
+// Application is a deterministic state machine. Implementations must
+// not introduce any nondeterminism (time, randomness, map iteration
+// order) into Execute results or Snapshot encodings: execution
+// replicas compare replies and checkpoint hashes across the group.
+//
+// Applications are driven by a single goroutine (the execution
+// replica's main loop); implementations do not need internal locking
+// unless they are shared, which the protocol never does.
+type Application interface {
+	// Execute applies one operation and returns its reply. Operations
+	// arrive in the agreed total order.
+	Execute(op []byte) []byte
+	// ExecuteRead answers a read-only query against current state.
+	// It must not modify state; it backs weakly consistent reads,
+	// which bypass the agreement protocol.
+	ExecuteRead(op []byte) []byte
+	// Snapshot serializes the full application state canonically:
+	// equal states yield byte-identical snapshots.
+	Snapshot() []byte
+	// Restore replaces the state with a previously taken snapshot.
+	Restore(snapshot []byte) error
+}

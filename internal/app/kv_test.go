@@ -1,0 +1,192 @@
+package app
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spider/internal/wire"
+)
+
+func mustResult(t *testing.T, payload []byte) Result {
+	t.Helper()
+	res, err := DecodeResult(payload)
+	if err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return res
+}
+
+func TestPutGet(t *testing.T) {
+	s := NewKVStore()
+	res := mustResult(t, s.Execute(EncodeOp(Op{Kind: OpPut, Key: "a", Value: []byte("1")})))
+	if !res.OK || res.Found {
+		t.Errorf("first put = %+v", res)
+	}
+	res = mustResult(t, s.Execute(EncodeOp(Op{Kind: OpPut, Key: "a", Value: []byte("2")})))
+	if !res.OK || !res.Found {
+		t.Errorf("overwrite put = %+v", res)
+	}
+	res = mustResult(t, s.ExecuteRead(EncodeOp(Op{Kind: OpGet, Key: "a"})))
+	if !res.OK || !res.Found || string(res.Value) != "2" {
+		t.Errorf("get = %+v", res)
+	}
+	res = mustResult(t, s.ExecuteRead(EncodeOp(Op{Kind: OpGet, Key: "missing"})))
+	if !res.OK || res.Found {
+		t.Errorf("missing get = %+v", res)
+	}
+}
+
+func TestGetThroughWritePath(t *testing.T) {
+	s := NewKVStore()
+	s.Execute(EncodeOp(Op{Kind: OpPut, Key: "k", Value: []byte("v")}))
+	res := mustResult(t, s.Execute(EncodeOp(Op{Kind: OpGet, Key: "k"})))
+	if !res.Found || string(res.Value) != "v" {
+		t.Errorf("strong get = %+v", res)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewKVStore()
+	s.Execute(EncodeOp(Op{Kind: OpPut, Key: "k", Value: []byte("v")}))
+	res := mustResult(t, s.Execute(EncodeOp(Op{Kind: OpDel, Key: "k"})))
+	if !res.OK || !res.Found {
+		t.Errorf("del = %+v", res)
+	}
+	res = mustResult(t, s.Execute(EncodeOp(Op{Kind: OpDel, Key: "k"})))
+	if !res.OK || res.Found {
+		t.Errorf("second del = %+v", res)
+	}
+	if s.Len() != 0 {
+		t.Errorf("len = %d after delete", s.Len())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	s := NewKVStore()
+	res := mustResult(t, s.Execute(EncodeOp(Op{Kind: OpInc, Key: "c", Delta: 5})))
+	if !res.OK || res.Counter != 5 {
+		t.Errorf("inc = %+v", res)
+	}
+	res = mustResult(t, s.Execute(EncodeOp(Op{Kind: OpInc, Key: "c", Delta: -2})))
+	if res.Counter != 3 {
+		t.Errorf("second inc = %+v", res)
+	}
+	res = mustResult(t, s.ExecuteRead(EncodeOp(Op{Kind: OpGet, Key: "c"})))
+	if !res.Found || res.Counter != 3 {
+		t.Errorf("counter get = %+v", res)
+	}
+}
+
+func TestExecuteGarbage(t *testing.T) {
+	s := NewKVStore()
+	res := mustResult(t, s.Execute([]byte{0xFF, 0x01, 0x02}))
+	if res.OK {
+		t.Error("garbage op accepted")
+	}
+	res = mustResult(t, s.ExecuteRead([]byte{0xFF}))
+	if res.OK {
+		t.Error("garbage read accepted")
+	}
+	// Writes through the read path are rejected.
+	res = mustResult(t, s.ExecuteRead(EncodeOp(Op{Kind: OpPut, Key: "x", Value: []byte("y")})))
+	if res.OK {
+		t.Error("write accepted on read path")
+	}
+	res = mustResult(t, s.Execute(EncodeOp(Op{Kind: OpKind(99), Key: "x"})))
+	if res.OK {
+		t.Error("unknown op kind accepted")
+	}
+}
+
+func TestReadDoesNotMutate(t *testing.T) {
+	s := NewKVStore()
+	s.Execute(EncodeOp(Op{Kind: OpPut, Key: "k", Value: []byte("v")}))
+	before := s.Snapshot()
+	s.ExecuteRead(EncodeOp(Op{Kind: OpGet, Key: "k"}))
+	s.ExecuteRead(EncodeOp(Op{Kind: OpGet, Key: "other"}))
+	if !bytes.Equal(before, s.Snapshot()) {
+		t.Error("read mutated state")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := NewKVStore()
+	for i := 0; i < 50; i++ {
+		s.Execute(EncodeOp(Op{Kind: OpPut, Key: fmt.Sprintf("k%02d", i), Value: []byte{byte(i)}}))
+	}
+	s.Execute(EncodeOp(Op{Kind: OpInc, Key: "count", Delta: 42}))
+	snap := s.Snapshot()
+
+	restored := NewKVStore()
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored.Snapshot(), snap) {
+		t.Error("restored snapshot differs")
+	}
+	res := mustResult(t, restored.ExecuteRead(EncodeOp(Op{Kind: OpGet, Key: "k07"})))
+	if !res.Found || res.Value[0] != 7 {
+		t.Errorf("restored get = %+v", res)
+	}
+}
+
+func TestRestoreCorrupt(t *testing.T) {
+	s := NewKVStore()
+	if err := s.Restore([]byte{0xFF, 0xFF, 0xFF}); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+	// A failed restore must not clobber existing state.
+	s.Execute(EncodeOp(Op{Kind: OpPut, Key: "k", Value: []byte("v")}))
+	if err := s.Restore([]byte{0x01}); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	res := mustResult(t, s.ExecuteRead(EncodeOp(Op{Kind: OpGet, Key: "k"})))
+	if !res.Found {
+		t.Error("state lost after failed restore")
+	}
+}
+
+// TestDeterminism is the RSM property (Definition A.14): two stores
+// that apply the same operation sequence have identical snapshots.
+func TestDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := NewKVStore(), NewKVStore()
+		for i := 0; i < 200; i++ {
+			op := Op{
+				Kind:  OpKind(rng.Intn(4) + 1),
+				Key:   fmt.Sprintf("k%d", rng.Intn(20)),
+				Value: []byte{byte(rng.Intn(256))},
+				Delta: int64(rng.Intn(100) - 50),
+			}
+			enc := EncodeOp(op)
+			ra := a.Execute(enc)
+			rb := b.Execute(enc)
+			if !bytes.Equal(ra, rb) {
+				return false
+			}
+		}
+		return bytes.Equal(a.Snapshot(), b.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpWireRoundTrip(t *testing.T) {
+	f := func(kind uint8, key string, value []byte, delta int64) bool {
+		in := Op{Kind: OpKind(kind), Key: key, Value: value, Delta: delta}
+		var out Op
+		if err := wire.Decode(wire.Encode(&in), &out); err != nil {
+			return false
+		}
+		return in.Kind == out.Kind && in.Key == out.Key &&
+			bytes.Equal(in.Value, out.Value) && in.Delta == out.Delta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+// Package wv implements the paper's "BFT-WV" baseline (the adaptability
+// experiment, Figure 10): the BFT baseline extended with WHEAT-style
+// weighted voting. The system runs 3f+1+Δ replicas — one per client
+// region — and assigns the high vote weight Vmax to the 2f
+// best-connected replicas so quorums form among the closest nodes.
+package wv
+
+import (
+	"spider/internal/baseline/bftgeo"
+	"spider/internal/consensus/pbft"
+	"spider/internal/ids"
+)
+
+// Config parameterizes one weighted-voting replica.
+type Config struct {
+	// Base is the underlying BFT baseline configuration; its Group
+	// must have 3f+1+Delta members.
+	Base bftgeo.Config
+	// Delta is the number of extra replicas beyond 3f+1.
+	Delta int
+	// Vmax lists the 2f replicas carrying the high weight; the paper
+	// places them at the best-connected sites.
+	Vmax []ids.NodeID
+}
+
+// New creates a weighted-voting replica: the BFT baseline with a WHEAT
+// quorum policy.
+func New(cfg Config) (*bftgeo.Replica, error) {
+	policy, err := pbft.NewWheatQuorum(cfg.Base.Group, cfg.Delta, cfg.Vmax)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Base.Policy = policy
+	return bftgeo.New(cfg.Base)
+}

@@ -1,0 +1,274 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/transport"
+	"spider/internal/transport/memnet"
+)
+
+const testStream = transport.Stream(200)
+
+type stableRec struct {
+	mu     sync.Mutex
+	seqs   []ids.SeqNr
+	states [][]byte
+}
+
+func (s *stableRec) onStable(seq ids.SeqNr, state []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seqs = append(s.seqs, seq)
+	s.states = append(s.states, state)
+}
+
+func (s *stableRec) last() (ids.SeqNr, []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.seqs) == 0 {
+		return 0, nil
+	}
+	return s.seqs[len(s.seqs)-1], s.states[len(s.states)-1]
+}
+
+func (s *stableRec) waitFor(t *testing.T, seq ids.SeqNr, timeout time.Duration) []byte {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if got, state := s.last(); got >= seq {
+			return state
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, _ := s.last()
+	t.Fatalf("stable checkpoint %d not reached (at %d)", seq, got)
+	return nil
+}
+
+type fixture struct {
+	net        *memnet.Network
+	group      ids.Group
+	suites     map[ids.NodeID]crypto.Suite
+	components []*Component
+	recs       []*stableRec
+}
+
+func newFixture(t *testing.T, n, f int, gossip time.Duration) *fixture {
+	t.Helper()
+	members := make([]ids.NodeID, n)
+	for i := range members {
+		members[i] = ids.NodeID(i + 1)
+	}
+	group := ids.Group{ID: 1, Members: members, F: f}
+	fx := &fixture{
+		net:    memnet.New(memnet.Options{}),
+		group:  group,
+		suites: crypto.NewSuites(members, crypto.SuiteInsecure),
+	}
+	for _, m := range members {
+		rec := &stableRec{}
+		comp, err := New(Config{
+			Group:          group,
+			Suite:          fx.suites[m],
+			Node:           fx.net.Node(m),
+			Stream:         testStream,
+			OnStable:       rec.onStable,
+			GossipInterval: gossip,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.components = append(fx.components, comp)
+		fx.recs = append(fx.recs, rec)
+	}
+	t.Cleanup(func() {
+		for _, c := range fx.components {
+			c.Stop()
+		}
+		fx.net.Close()
+	})
+	return fx
+}
+
+func TestStableAfterQuorum(t *testing.T) {
+	fx := newFixture(t, 3, 1, 50*time.Millisecond)
+	state := []byte("state at seq 10")
+
+	// f+1 = 2 replicas generate matching checkpoints: stability.
+	fx.components[0].Generate(10, state)
+	fx.components[1].Generate(10, state)
+
+	for i := 0; i < 2; i++ {
+		got := fx.recs[i].waitFor(t, 10, 5*time.Second)
+		if !bytes.Equal(got, state) {
+			t.Errorf("replica %d stable state = %q", i, got)
+		}
+	}
+	if got := fx.components[0].StableSeq(); got != 10 {
+		t.Errorf("StableSeq = %d", got)
+	}
+}
+
+func TestSingleAnnouncementInsufficient(t *testing.T) {
+	fx := newFixture(t, 3, 1, 50*time.Millisecond)
+	fx.components[0].Generate(10, []byte("alone"))
+	time.Sleep(200 * time.Millisecond)
+	for i, rec := range fx.recs {
+		if seq, _ := rec.last(); seq != 0 {
+			t.Errorf("replica %d stabilized with one vote (seq %d)", i, seq)
+		}
+	}
+}
+
+func TestLaggardFetchesState(t *testing.T) {
+	fx := newFixture(t, 3, 1, 30*time.Millisecond)
+	state := []byte("full state transfer payload")
+
+	// Replicas 1 and 2 checkpoint; replica 3 never generated one but
+	// must learn the stable checkpoint via gossip and fetch the state.
+	fx.components[0].Generate(20, state)
+	fx.components[1].Generate(20, state)
+
+	got := fx.recs[2].waitFor(t, 20, 5*time.Second)
+	if !bytes.Equal(got, state) {
+		t.Errorf("laggard state = %q", got)
+	}
+}
+
+func TestExplicitFetch(t *testing.T) {
+	fx := newFixture(t, 3, 1, time.Hour) // gossip disabled in practice
+	state := []byte("fetch me")
+	fx.components[0].Generate(5, state)
+	fx.components[1].Generate(5, state)
+	fx.recs[0].waitFor(t, 5, 5*time.Second)
+
+	// Replica 3 missed everything; an explicit Fetch (as triggered by
+	// a commit-channel TooOld) must repair it.
+	fx.components[2].Fetch(5)
+	got := fx.recs[2].waitFor(t, 5, 5*time.Second)
+	if !bytes.Equal(got, state) {
+		t.Errorf("fetched state = %q", got)
+	}
+}
+
+func TestMonotonicDelivery(t *testing.T) {
+	fx := newFixture(t, 3, 1, 20*time.Millisecond)
+	for seq := ids.SeqNr(10); seq <= 30; seq += 10 {
+		state := []byte(fmt.Sprintf("state-%d", seq))
+		fx.components[0].Generate(seq, state)
+		fx.components[1].Generate(seq, state)
+		fx.recs[0].waitFor(t, seq, 5*time.Second)
+	}
+	fx.recs[0].mu.Lock()
+	defer fx.recs[0].mu.Unlock()
+	for i := 1; i < len(fx.recs[0].seqs); i++ {
+		if fx.recs[0].seqs[i] <= fx.recs[0].seqs[i-1] {
+			t.Fatalf("non-monotonic stable delivery: %v", fx.recs[0].seqs)
+		}
+	}
+}
+
+func TestMismatchedStatesNoStability(t *testing.T) {
+	fx := newFixture(t, 3, 1, 30*time.Millisecond)
+	// Divergent snapshots for the same sequence number: no f+1
+	// matching hashes, so nothing may stabilize.
+	fx.components[0].Generate(10, []byte("state A"))
+	fx.components[1].Generate(10, []byte("state B"))
+	time.Sleep(250 * time.Millisecond)
+	for i, rec := range fx.recs {
+		if seq, _ := rec.last(); seq != 0 {
+			t.Errorf("replica %d stabilized divergent checkpoints (seq %d)", i, seq)
+		}
+	}
+}
+
+func TestCrossGroupFetch(t *testing.T) {
+	// Group 1 (replicas 1,2,3) has the state; replica 10 in group 2
+	// fetches it across groups, as a freshly added execution group
+	// does (Section 3.6).
+	members1 := []ids.NodeID{1, 2, 3}
+	members2 := []ids.NodeID{10, 11, 12}
+	all := append(append([]ids.NodeID{}, members1...), members2...)
+	g1 := ids.Group{ID: 1, Members: members1, F: 1}
+	g2 := ids.Group{ID: 2, Members: members2, F: 1}
+	suites := crypto.NewSuites(all, crypto.SuiteInsecure)
+	net := memnet.New(memnet.Options{})
+	defer net.Close()
+
+	var comps []*Component
+	var recs []*stableRec
+	for _, m := range members1 {
+		rec := &stableRec{}
+		comp, err := New(Config{
+			Group: g1, Suite: suites[m], Node: net.Node(m),
+			Stream: testStream, OnStable: rec.onStable,
+			GossipInterval: 30 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps = append(comps, comp)
+		recs = append(recs, rec)
+	}
+	rec10 := &stableRec{}
+	comp10, err := New(Config{
+		Group: g2, Suite: suites[10], Node: net.Node(10),
+		Stream: testStream, OnStable: rec10.onStable,
+		GossipInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comp10.Stop()
+	defer func() {
+		for _, c := range comps {
+			c.Stop()
+		}
+	}()
+
+	state := []byte("cross-group state")
+	comps[0].Generate(7, state)
+	comps[1].Generate(7, state)
+	recs[0].waitFor(t, 7, 5*time.Second)
+
+	// Without registered peers the fetch cannot verify group-1 certs.
+	comp10.Fetch(7)
+	time.Sleep(150 * time.Millisecond)
+	if seq, _ := rec10.last(); seq != 0 {
+		t.Fatal("unverifiable cross-group checkpoint accepted")
+	}
+
+	comp10.AddFetchPeers(g1)
+	comp10.Fetch(7)
+	got := rec10.waitFor(t, 7, 5*time.Second)
+	if !bytes.Equal(got, state) {
+		t.Errorf("cross-group state = %q", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := memnet.New(memnet.Options{})
+	defer net.Close()
+	suite := crypto.NewInsecureSuite(1, []byte("k"))
+	group := ids.Group{ID: 1, Members: []ids.NodeID{1}, F: 0}
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Group: group, Suite: suite, Node: net.Node(1)}); err == nil {
+		t.Error("missing OnStable accepted")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	fx := newFixture(t, 3, 1, 50*time.Millisecond)
+	fx.components[0].Stop()
+	fx.components[0].Stop()
+	// Generate after stop must not panic or send.
+	fx.components[0].Generate(1, []byte("late"))
+}

@@ -1,0 +1,162 @@
+package pbft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/transport"
+
+	"spider/internal/consensus"
+)
+
+// QuorumPolicy decides when a set of distinct voters constitutes a
+// quorum. The default counting policy implements classic PBFT (2f+1 of
+// 3f+1); the weighted policy implements WHEAT-style weighted voting
+// and backs the BFT-WV baseline.
+type QuorumPolicy interface {
+	// IsQuorum reports whether the voter set reaches a quorum.
+	IsQuorum(voters map[ids.NodeID]bool) bool
+}
+
+// CountQuorum is the classic policy: a quorum is any Need distinct
+// voters.
+type CountQuorum struct {
+	Need int
+}
+
+var _ QuorumPolicy = CountQuorum{}
+
+// IsQuorum implements QuorumPolicy.
+func (q CountQuorum) IsQuorum(voters map[ids.NodeID]bool) bool {
+	return len(voters) >= q.Need
+}
+
+// WeightedQuorum implements WHEAT-style weighted voting (Sousa &
+// Bessani, SRDS '15): with n = 3f+1+Δ replicas, 2f replicas carry
+// weight Vmax = 1 + Δ/f and the rest weight Vmin = 1; a quorum is any
+// set with total weight at least 2f·Vmax + 1. Well-placed Vmax
+// replicas let quorums form among the closest nodes.
+type WeightedQuorum struct {
+	Weights map[ids.NodeID]float64
+	Need    float64
+}
+
+var _ QuorumPolicy = WeightedQuorum{}
+
+// IsQuorum implements QuorumPolicy.
+func (q WeightedQuorum) IsQuorum(voters map[ids.NodeID]bool) bool {
+	var total float64
+	for v := range voters {
+		total += q.Weights[v]
+	}
+	return total >= q.Need
+}
+
+// NewWheatQuorum builds the weighted policy for a group tolerating f
+// faults with delta extra replicas; vmax lists the replicas assigned
+// the high weight (must be exactly 2f of them).
+func NewWheatQuorum(group ids.Group, delta int, vmax []ids.NodeID) (WeightedQuorum, error) {
+	f := group.F
+	if len(group.Members) != 3*f+1+delta {
+		return WeightedQuorum{}, fmt.Errorf("pbft: weighted group size %d != 3f+1+Δ = %d", len(group.Members), 3*f+1+delta)
+	}
+	if len(vmax) != 2*f {
+		return WeightedQuorum{}, fmt.Errorf("pbft: need exactly 2f=%d Vmax replicas, got %d", 2*f, len(vmax))
+	}
+	wmax := 1 + float64(delta)/float64(f)
+	weights := make(map[ids.NodeID]float64, len(group.Members))
+	for _, m := range group.Members {
+		weights[m] = 1
+	}
+	for _, m := range vmax {
+		if !group.Contains(m) {
+			return WeightedQuorum{}, fmt.Errorf("pbft: Vmax replica %v not in group", m)
+		}
+		weights[m] = wmax
+	}
+	return WeightedQuorum{Weights: weights, Need: 2*float64(f)*wmax + 1}, nil
+}
+
+// Config parameterizes a PBFT replica.
+type Config struct {
+	// Group is the consensus group; classic PBFT needs 3f+1 members.
+	Group ids.Group
+	// Suite provides this replica's signing identity.
+	Suite crypto.Suite
+	// Node is this replica's transport handle.
+	Node transport.Node
+	// Stream carries all PBFT traffic of this group.
+	Stream transport.Stream
+	// Deliver receives ordered payloads (the black-box callback).
+	Deliver consensus.DeliverFunc
+	// Validate vets payloads before the replica endorses them
+	// (A-Validity). Nil accepts everything.
+	Validate consensus.ValidateFunc
+	// Policy decides quorums; nil means classic 2f+1 counting.
+	Policy QuorumPolicy
+
+	// BatchSize caps payloads per consensus instance.
+	BatchSize int
+	// BatchDelay is how long the leader waits to fill a batch.
+	BatchDelay time.Duration
+	// Window is the number of batches that may be in flight beyond
+	// the low watermark (pipeline depth).
+	Window int
+	// CheckpointInterval is the number of batches between internal
+	// checkpoints; must be smaller than Window so the pipeline never
+	// outruns garbage collection.
+	CheckpointInterval int
+	// RequestTimeout is how long a payload may stay undelivered
+	// before the replica suspects the leader and starts a view
+	// change. It doubles on consecutive failed view changes.
+	RequestTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.Policy == nil {
+		c.Policy = CountQuorum{Need: 2*c.Group.F + 1}
+	}
+}
+
+func (c *Config) validate() error {
+	if len(c.Group.Members) == 0 {
+		return errors.New("pbft: empty group")
+	}
+	if c.Group.IndexOf(c.Suite.Node()) < 0 {
+		return fmt.Errorf("pbft: replica %v not in group %v", c.Suite.Node(), c.Group.ID)
+	}
+	if c.Deliver == nil {
+		return errors.New("pbft: Deliver callback required")
+	}
+	if c.Node == nil {
+		return errors.New("pbft: transport node required")
+	}
+	if c.CheckpointInterval >= c.Window {
+		return fmt.Errorf("pbft: checkpoint interval %d must be < window %d", c.CheckpointInterval, c.Window)
+	}
+	return nil
+}
+
+// leaderOf returns the leader of view v: members take the role round
+// robin.
+func (c *Config) leaderOf(view uint64) ids.NodeID {
+	return c.Group.Members[view%uint64(len(c.Group.Members))]
+}

@@ -1,0 +1,991 @@
+package pbft
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spider/internal/consensus"
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/wire"
+)
+
+// reqState tracks where a payload known to this replica currently is.
+type reqState uint8
+
+const (
+	reqQueued    reqState = iota + 1 // waiting to be proposed
+	reqInflight                      // part of a proposed batch
+	reqDelivered                     // delivered to the application
+)
+
+// voteRaw is one stored prepare/commit vote.
+type voteRaw struct {
+	view   uint64
+	digest crypto.Digest
+	raw    signedRaw
+}
+
+// entry is the log slot for one batch sequence number.
+type entry struct {
+	seq      uint64
+	view     uint64
+	digest   crypto.Digest
+	payloads [][]byte
+	havePP   bool
+	ppRaw    signedRaw
+
+	prepareVotes map[ids.NodeID]voteRaw
+	commitVotes  map[ids.NodeID]voteRaw
+
+	prepared     bool
+	preparedRaws []signedRaw // prepare raws matching digest, snapshotted when prepared
+	committed    bool
+	sentPrepare  bool
+	sentCommit   bool
+	delivered    bool
+	globalStart  uint64 // first global sequence number (set at delivery)
+	globalEnd    uint64 // last global sequence number (set at delivery)
+}
+
+func newEntry(seq uint64) *entry {
+	return &entry{
+		seq:          seq,
+		prepareVotes: make(map[ids.NodeID]voteRaw),
+		commitVotes:  make(map[ids.NodeID]voteRaw),
+	}
+}
+
+type queuedReq struct {
+	payload []byte
+	digest  crypto.Digest
+}
+
+type ckptVote struct {
+	global uint64
+	chain  crypto.Digest
+	raw    signedRaw
+}
+
+// jumpTarget describes a stable checkpoint this replica should fast
+// forward to because it fell behind the group.
+type jumpTarget struct {
+	batch  uint64
+	global uint64
+	chain  crypto.Digest
+}
+
+type vcVote struct {
+	msg *viewChange
+	raw signedRaw
+}
+
+// Replica is one PBFT group member implementing consensus.Agreement.
+type Replica struct {
+	cfg Config
+	me  ids.NodeID
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	started bool
+	stopped bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	view       uint64
+	inVC       bool
+	vcTarget   uint64
+	vcDeadline time.Time
+	curTimeout time.Duration
+
+	nextSeq uint64 // leader: next batch sequence to propose
+	log     map[uint64]*entry
+	lowWM   uint64 // last stable (garbage-collected) batch
+
+	nextDeliver uint64        // next batch to hand to the delivery loop
+	nextGlobal  uint64        // next global sequence number to assign
+	chain       crypto.Digest // rolling digest of delivered batches
+
+	queue        []queuedReq
+	seen         map[crypto.Digest]reqState
+	pendingSince map[crypto.Digest]time.Time
+
+	ckptVotes    map[uint64]map[ids.NodeID]ckptVote
+	stableProof  []signedRaw
+	stableGlobal uint64
+	stableChain  crypto.Digest
+	pendingJump  *jumpTarget // catch-up target, executed by the delivery loop
+
+	vcs           map[uint64]map[ids.NodeID]vcVote
+	lastStatusReq time.Time
+	batchTimerOn  bool
+
+	// Delivery progress tracking for stuck detection.
+	progressSeq uint64
+	progressAt  time.Time
+
+	// lastNewViewEnv is the envelope that installed the current view,
+	// relayed to laggards in status replies.
+	lastNewViewEnv []byte
+}
+
+var _ consensus.Agreement = (*Replica)(nil)
+
+// New creates a PBFT replica. The replica registers its transport
+// handler immediately (inbound traffic is buffered by the transport),
+// but only processes and emits messages after Start.
+func New(cfg Config) (*Replica, error) {
+	// The classic size bound applies only when no custom quorum
+	// policy overrides it (weighted deployments size differently), so
+	// check before defaults install the counting policy.
+	if cfg.Policy == nil && len(cfg.Group.Members) < 3*cfg.Group.F+1 {
+		return nil, fmt.Errorf("pbft: group size %d cannot tolerate f=%d", len(cfg.Group.Members), cfg.Group.F)
+	}
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		cfg:          cfg,
+		me:           cfg.Suite.Node(),
+		nextSeq:      1,
+		nextDeliver:  1,
+		nextGlobal:   1,
+		log:          make(map[uint64]*entry),
+		seen:         make(map[crypto.Digest]reqState),
+		pendingSince: make(map[crypto.Digest]time.Time),
+		ckptVotes:    make(map[uint64]map[ids.NodeID]ckptVote),
+		vcs:          make(map[uint64]map[ids.NodeID]vcVote),
+		curTimeout:   cfg.RequestTimeout,
+		done:         make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r, nil
+}
+
+// Start implements consensus.Agreement.
+func (r *Replica) Start() {
+	r.mu.Lock()
+	if r.started || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+
+	r.cfg.Node.Handle(r.cfg.Stream, r.onFrame)
+
+	r.wg.Add(2)
+	go r.deliveryLoop()
+	go r.timerLoop()
+}
+
+// Stop implements consensus.Agreement.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	close(r.done)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// View returns the current view number (for tests and diagnostics).
+func (r *Replica) View() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// Leader returns the current view's leader.
+func (r *Replica) Leader() ids.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.leaderOf(r.view)
+}
+
+// Order implements consensus.Agreement.
+func (r *Replica) Order(payload []byte) {
+	if r.cfg.Validate != nil {
+		if err := r.cfg.Validate(payload); err != nil {
+			// Refusing invalid payloads here keeps them from arming
+			// the fault-detection timer: an unorderable payload must
+			// not depose a correct leader.
+			return
+		}
+	}
+	d := crypto.Hash(payload)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return
+	}
+	switch r.seen[d] {
+	case reqDelivered:
+		return
+	case reqQueued, reqInflight:
+		// Known but undelivered: make sure the fault-detection timer
+		// covers it (it may have been requeued by a view change).
+		if _, ok := r.pendingSince[d]; !ok {
+			r.pendingSince[d] = time.Now()
+		}
+		return
+	}
+	r.seen[d] = reqQueued
+	r.pendingSince[d] = time.Now()
+	r.queue = append(r.queue, queuedReq{payload: payload, digest: d})
+	r.maybeProposeLocked(false)
+}
+
+// GC implements consensus.Agreement: delivered batches entirely below
+// the given global sequence number may be forgotten. Watermark
+// advancement itself is driven by the internal checkpoint protocol;
+// GC only prunes payload memory sooner.
+func (r *Replica) GC(before ids.SeqNr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for seq, e := range r.log {
+		if e.delivered && e.globalEnd < uint64(before) && seq <= r.lowWM {
+			delete(r.log, seq)
+		}
+	}
+}
+
+// --- sealing & envelope handling ---------------------------------------
+
+// sealLocked signs a message and returns the envelope bytes to put on
+// the wire, plus the raw for proof storage.
+func (r *Replica) sealLocked(tag wire.TypeTag, m wire.Marshaler) ([]byte, signedRaw) {
+	frame := registry.EncodeFrame(tag, m)
+	raw := signedRaw{
+		From:  r.me,
+		Frame: frame,
+		Sig:   r.cfg.Suite.Sign(crypto.DomainPBFT, frame),
+	}
+	return wire.Encode(&raw), raw
+}
+
+// multicastLocked sends envelope bytes to every group member,
+// including this replica (self-delivery keeps vote handling uniform).
+func (r *Replica) multicastLocked(env []byte) {
+	r.cfg.Node.Multicast(r.cfg.Group.Members, r.cfg.Stream, env)
+}
+
+// verifyRaw checks an embedded or top-level signed message.
+func (r *Replica) verifyRaw(raw *signedRaw) error {
+	if !r.cfg.Group.Contains(raw.From) {
+		return fmt.Errorf("pbft: signer %v not in group", raw.From)
+	}
+	return r.cfg.Suite.Verify(raw.From, crypto.DomainPBFT, raw.Frame, raw.Sig)
+}
+
+// onFrame is the transport handler for all PBFT traffic.
+func (r *Replica) onFrame(from ids.NodeID, payload []byte) {
+	var raw signedRaw
+	if err := wire.Decode(payload, &raw); err != nil {
+		return
+	}
+	if raw.From != from {
+		return // transport identity must match the claimed signer
+	}
+	if from != r.me {
+		if err := r.verifyRaw(&raw); err != nil {
+			return
+		}
+	}
+	tag, msg, err := registry.DecodeFrame(raw.Frame)
+	if err != nil {
+		return
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped || !r.started {
+		return
+	}
+	switch tag {
+	case tagPrePrepare:
+		r.handlePrePrepareLocked(from, msg.(*prePrepare), raw)
+	case tagPrepare:
+		r.handlePrepareLocked(from, msg.(*prepare), raw)
+	case tagCommit:
+		r.handleCommitLocked(from, msg.(*commit), raw)
+	case tagCheckpoint:
+		r.handleCheckpointLocked(from, msg.(*checkpointMsg), raw)
+	case tagViewChange:
+		r.handleViewChangeLocked(from, msg.(*viewChange), raw)
+	case tagNewView:
+		r.handleNewViewLocked(from, msg.(*newView), payload)
+	case tagStatusRequest:
+		r.handleStatusRequestLocked(from, msg.(*statusRequest))
+	case tagStatusReply:
+		r.handleStatusReplyLocked(msg.(*statusReply))
+	}
+}
+
+// --- proposing ----------------------------------------------------------
+
+func (r *Replica) isLeaderLocked() bool { return r.cfg.leaderOf(r.view) == r.me }
+
+// maybeProposeLocked drains the request queue into batches while the
+// replica leads, the pipeline window has room, and batches are full
+// (or force is set, which flushes partial batches).
+func (r *Replica) maybeProposeLocked(force bool) {
+	if !r.isLeaderLocked() || r.inVC || r.stopped || !r.started {
+		return
+	}
+	for len(r.queue) > 0 && r.nextSeq <= r.lowWM+uint64(r.cfg.Window) {
+		batch := r.takeBatchLocked(force)
+		if batch == nil {
+			return
+		}
+		r.proposeLocked(batch)
+	}
+}
+
+// takeBatchLocked pops up to BatchSize still-queued payloads. It
+// returns nil if the queue holds fewer than a full batch and force is
+// unset (arming the batch timer instead).
+func (r *Replica) takeBatchLocked(force bool) []queuedReq {
+	batch := make([]queuedReq, 0, r.cfg.BatchSize)
+	kept := r.queue[:0]
+	for _, q := range r.queue {
+		if len(batch) == r.cfg.BatchSize {
+			kept = append(kept, q)
+			continue
+		}
+		if r.seen[q.digest] != reqQueued {
+			continue // delivered or already in flight; drop silently
+		}
+		batch = append(batch, q)
+	}
+	if len(batch) < r.cfg.BatchSize && !force {
+		// Not enough for a full batch: put everything back and wait
+		// for the batch delay to flush.
+		r.queue = append(kept[:0], r.queue...)
+		if len(batch) > 0 {
+			r.armBatchTimerLocked()
+		}
+		return nil
+	}
+	r.queue = kept
+	if len(batch) == 0 {
+		return nil
+	}
+	return batch
+}
+
+func (r *Replica) armBatchTimerLocked() {
+	if r.batchTimerOn {
+		return
+	}
+	r.batchTimerOn = true
+	time.AfterFunc(r.cfg.BatchDelay, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.batchTimerOn = false
+		if !r.stopped {
+			r.maybeProposeLocked(true)
+		}
+	})
+}
+
+func (r *Replica) proposeLocked(batch []queuedReq) {
+	payloads := make([][]byte, len(batch))
+	for i, q := range batch {
+		payloads[i] = q.payload
+		r.seen[q.digest] = reqInflight
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	pp := &prePrepare{View: r.view, Seq: seq, Payloads: payloads}
+	env, raw := r.sealLocked(tagPrePrepare, pp)
+
+	e := r.entryLocked(seq)
+	e.view = r.view
+	e.digest = batchDigest(payloads)
+	e.payloads = payloads
+	e.havePP = true
+	e.ppRaw = raw
+	r.multicastLocked(env)
+}
+
+func (r *Replica) entryLocked(seq uint64) *entry {
+	e, ok := r.log[seq]
+	if !ok {
+		e = newEntry(seq)
+		r.log[seq] = e
+	}
+	return e
+}
+
+// --- normal case --------------------------------------------------------
+
+func (r *Replica) handlePrePrepareLocked(from ids.NodeID, pp *prePrepare, raw signedRaw) {
+	if pp.Seq > r.lowWM+2*uint64(r.cfg.Window) {
+		r.maybeRequestStatusLocked()
+		return
+	}
+	if r.inVC || pp.View != r.view || from != r.cfg.leaderOf(pp.View) {
+		return
+	}
+	// Accept up to twice the proposal window: our own watermark may
+	// trail the leader's by a checkpoint round, and refusing otherwise
+	// valid proposals would force needless state transfer. The leader
+	// proposes only within one window, so log growth stays bounded.
+	if pp.Seq <= r.lowWM || pp.Seq > r.lowWM+2*uint64(r.cfg.Window) || pp.Seq < r.nextDeliver {
+		return
+	}
+	e := r.entryLocked(pp.Seq)
+	if e.havePP {
+		return // first pre-prepare for this view/seq wins
+	}
+	if r.cfg.Validate != nil {
+		for _, p := range pp.Payloads {
+			if err := r.cfg.Validate(p); err != nil {
+				return // refuse to endorse an invalid payload
+			}
+		}
+	}
+	e.view = pp.View
+	e.digest = batchDigest(pp.Payloads)
+	e.payloads = pp.Payloads
+	e.havePP = true
+	e.ppRaw = raw
+	for _, p := range pp.Payloads {
+		d := crypto.Hash(p)
+		if r.seen[d] != reqDelivered {
+			r.seen[d] = reqInflight
+		}
+	}
+	if from != r.me && !e.sentPrepare {
+		e.sentPrepare = true
+		env, _ := r.sealLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
+		r.multicastLocked(env)
+	}
+	r.checkPreparedLocked(e)
+	r.checkCommittedLocked(e)
+}
+
+func (r *Replica) handlePrepareLocked(from ids.NodeID, p *prepare, raw signedRaw) {
+	if r.inVC || p.View != r.view || p.Seq <= r.lowWM || p.Seq < r.nextDeliver {
+		return
+	}
+	if from == r.cfg.leaderOf(p.View) {
+		return // the proposer's pre-prepare is its prepare vote
+	}
+	e := r.entryLocked(p.Seq)
+	if _, dup := e.prepareVotes[from]; dup {
+		return
+	}
+	e.prepareVotes[from] = voteRaw{view: p.View, digest: p.Digest, raw: raw}
+	r.checkPreparedLocked(e)
+}
+
+func (r *Replica) checkPreparedLocked(e *entry) {
+	if !e.havePP || e.prepared {
+		return
+	}
+	voters := map[ids.NodeID]bool{r.cfg.leaderOf(e.view): true}
+	var raws []signedRaw
+	for node, v := range e.prepareVotes {
+		if v.view == e.view && v.digest == e.digest {
+			voters[node] = true
+			raws = append(raws, v.raw)
+		}
+	}
+	if !r.cfg.Policy.IsQuorum(voters) {
+		return
+	}
+	e.prepared = true
+	e.preparedRaws = raws
+	if !e.sentCommit {
+		e.sentCommit = true
+		env, _ := r.sealLocked(tagCommit, &commit{View: e.view, Seq: e.seq, Digest: e.digest})
+		r.multicastLocked(env)
+	}
+	r.checkCommittedLocked(e)
+}
+
+func (r *Replica) handleCommitLocked(from ids.NodeID, c *commit, raw signedRaw) {
+	if c.Seq > r.lowWM+2*uint64(r.cfg.Window) {
+		r.maybeRequestStatusLocked()
+		return
+	}
+	if r.inVC || c.View != r.view || c.Seq <= r.lowWM || c.Seq < r.nextDeliver {
+		return
+	}
+	e := r.entryLocked(c.Seq)
+	if _, dup := e.commitVotes[from]; dup {
+		return
+	}
+	e.commitVotes[from] = voteRaw{view: c.View, digest: c.Digest, raw: raw}
+	r.checkCommittedLocked(e)
+}
+
+func (r *Replica) checkCommittedLocked(e *entry) {
+	if e.committed || !e.havePP {
+		return
+	}
+	voters := make(map[ids.NodeID]bool, len(e.commitVotes))
+	for node, v := range e.commitVotes {
+		if v.view == e.view && v.digest == e.digest {
+			voters[node] = true
+		}
+	}
+	if !r.cfg.Policy.IsQuorum(voters) {
+		return
+	}
+	e.committed = true
+	r.cond.Broadcast()
+}
+
+// --- delivery -----------------------------------------------------------
+
+func (r *Replica) deliveryLoop() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		var e *entry
+		for !r.stopped {
+			if cand, ok := r.log[r.nextDeliver]; ok && cand.committed && !cand.delivered {
+				e = cand
+				break
+			}
+			if r.pendingJump != nil {
+				j := r.pendingJump
+				r.pendingJump = nil
+				if j.batch >= r.nextDeliver {
+					// Blocked with no deliverable batch: fast forward
+					// over garbage-collected history.
+					r.performJumpLocked(j)
+					continue
+				}
+			}
+			r.cond.Wait()
+		}
+		if r.stopped {
+			r.mu.Unlock()
+			return
+		}
+
+		e.delivered = true
+		e.globalStart = r.nextGlobal
+		e.globalEnd = r.nextGlobal + uint64(len(e.payloads)) - 1
+		r.nextDeliver++
+		r.nextGlobal += uint64(len(e.payloads))
+		r.chain = chainDigest(r.chain, e.digest)
+		for _, p := range e.payloads {
+			d := crypto.Hash(p)
+			r.seen[d] = reqDelivered
+			delete(r.pendingSince, d)
+		}
+		r.curTimeout = r.cfg.RequestTimeout // progress: reset backoff
+
+		payloads := e.payloads
+		globalStart := e.globalStart
+		batchSeq := e.seq
+
+		var ckptEnv []byte
+		if batchSeq%uint64(r.cfg.CheckpointInterval) == 0 {
+			msg := &checkpointMsg{BatchSeq: batchSeq, GlobalSeq: r.nextGlobal - 1, Chain: r.chain}
+			ckptEnv, _ = r.sealLocked(tagCheckpoint, msg)
+		}
+		// A committed successor may already be waiting.
+		r.cond.Broadcast()
+		r.mu.Unlock()
+
+		for i, p := range payloads {
+			r.cfg.Deliver(ids.SeqNr(globalStart+uint64(i)), p)
+		}
+		if ckptEnv != nil {
+			r.mu.Lock()
+			if !r.stopped {
+				r.multicastLocked(ckptEnv)
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// chainDigest extends the delivery chain hash by one batch digest.
+func chainDigest(prev, batch crypto.Digest) crypto.Digest {
+	var buf [2 * crypto.DigestSize]byte
+	copy(buf[:crypto.DigestSize], prev[:])
+	copy(buf[crypto.DigestSize:], batch[:])
+	return crypto.Hash(buf[:])
+}
+
+// --- internal checkpoints & catch-up -------------------------------------
+
+func (r *Replica) handleCheckpointLocked(from ids.NodeID, c *checkpointMsg, raw signedRaw) {
+	if c.BatchSeq <= r.lowWM {
+		return
+	}
+	votes, ok := r.ckptVotes[c.BatchSeq]
+	if !ok {
+		votes = make(map[ids.NodeID]ckptVote)
+		r.ckptVotes[c.BatchSeq] = votes
+	}
+	if _, dup := votes[from]; dup {
+		return
+	}
+	votes[from] = ckptVote{global: c.GlobalSeq, chain: c.Chain, raw: raw}
+
+	voters := make(map[ids.NodeID]bool)
+	var proof []signedRaw
+	for node, v := range votes {
+		if v.global == c.GlobalSeq && v.chain == c.Chain {
+			voters[node] = true
+			proof = append(proof, v.raw)
+		}
+	}
+	if !r.cfg.Policy.IsQuorum(voters) {
+		return
+	}
+	r.stabilizeLocked(c.BatchSeq, c.GlobalSeq, c.Chain, proof)
+}
+
+// stabilizeLocked installs a stable checkpoint: the watermark advances
+// and fully processed log entries are pruned. If this replica has
+// fallen behind, a jump target is recorded; the delivery loop performs
+// the jump once no locally committed batch can still be delivered in
+// order (A-Order permits the resulting gap as garbage collection; the
+// layer above repairs its state via its own checkpoints, as Spider
+// does).
+func (r *Replica) stabilizeLocked(batch, global uint64, chain crypto.Digest, proof []signedRaw) {
+	if batch <= r.lowWM {
+		return
+	}
+	r.lowWM = batch
+	r.stableProof = proof
+	r.stableGlobal = global
+	r.stableChain = chain
+	if r.nextDeliver <= batch {
+		if r.pendingJump == nil || batch > r.pendingJump.batch {
+			r.pendingJump = &jumpTarget{batch: batch, global: global, chain: chain}
+		}
+	}
+	if r.nextSeq <= batch {
+		r.nextSeq = batch + 1
+	}
+	for seq, e := range r.log {
+		// Keep committed-but-undelivered entries: the delivery loop
+		// still needs their payloads.
+		if seq <= batch && (e.delivered || !e.committed) {
+			for _, p := range e.payloads {
+				d := crypto.Hash(p)
+				if e.delivered || r.seen[d] == reqDelivered {
+					delete(r.seen, d)
+					delete(r.pendingSince, d)
+				}
+			}
+			delete(r.log, seq)
+		}
+	}
+	for seq := range r.ckptVotes {
+		if seq <= batch {
+			delete(r.ckptVotes, seq)
+		}
+	}
+	r.cond.Broadcast()
+	r.maybeProposeLocked(false)
+}
+
+// performJumpLocked fast-forwards delivery past garbage-collected
+// history. Only the delivery loop calls it, so delivery order and the
+// global sequence counter stay consistent.
+func (r *Replica) performJumpLocked(j *jumpTarget) {
+	if j.batch < r.nextDeliver {
+		return
+	}
+	for seq, e := range r.log {
+		if seq > j.batch {
+			continue
+		}
+		for _, p := range e.payloads {
+			d := crypto.Hash(p)
+			r.seen[d] = reqDelivered
+			delete(r.pendingSince, d)
+		}
+		delete(r.log, seq)
+	}
+	r.nextDeliver = j.batch + 1
+	r.nextGlobal = j.global + 1
+	r.chain = j.chain
+	// History is gone: this replica can no longer tell whether its
+	// pending payloads were ordered inside the window it skipped, so
+	// their fault-detection markers are dropped. Censorship detection
+	// is unharmed: the 2f other correct replicas keep their markers
+	// (only f replicas can be this far behind in a live system), and
+	// upstream retries re-arm markers here via Order.
+	for d := range r.pendingSince {
+		delete(r.pendingSince, d)
+	}
+	// Jumping means the group made progress without us; if we were
+	// sulking in a lonely view change, rejoin normal operation.
+	if r.inVC {
+		r.inVC = false
+		r.vcTarget = r.view
+		r.curTimeout = r.cfg.RequestTimeout
+	}
+}
+
+// maybeRequestStatusLocked asks peers for catch-up material, rate
+// limited to one request per second.
+func (r *Replica) maybeRequestStatusLocked() {
+	if time.Since(r.lastStatusReq) < time.Second {
+		return
+	}
+	r.lastStatusReq = time.Now()
+	env, _ := r.sealLocked(tagStatusRequest, &statusRequest{NextDeliver: r.nextDeliver})
+	for _, m := range r.cfg.Group.Members {
+		if m != r.me {
+			r.cfg.Node.Send(m, r.cfg.Stream, env)
+		}
+	}
+}
+
+// maxStatusEntries bounds how many commit certificates one status
+// reply carries.
+const maxStatusEntries = 64
+
+func (r *Replica) handleStatusRequestLocked(from ids.NodeID, req *statusRequest) {
+	reply := &statusReply{
+		StableBatch:  r.lowWM,
+		StableGlobal: r.stableGlobal,
+		StableChain:  r.stableChain,
+		StableProof:  r.stableProof,
+		NewViewEnv:   r.lastNewViewEnv,
+	}
+	start := req.NextDeliver
+	if start <= r.lowWM {
+		start = r.lowWM + 1
+	}
+	seqs := make([]uint64, 0, len(r.log))
+	for seq, e := range r.log {
+		if seq >= start && e.committed && e.havePP {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		if len(reply.Entries) == maxStatusEntries {
+			break
+		}
+		e := r.log[seq]
+		var commits []signedRaw
+		for _, v := range e.commitVotes {
+			if v.view == e.view && v.digest == e.digest {
+				commits = append(commits, v.raw)
+			}
+		}
+		reply.Entries = append(reply.Entries, committedEntry{PrePrepare: e.ppRaw, Commits: commits})
+	}
+	env, _ := r.sealLocked(tagStatusReply, reply)
+	r.cfg.Node.Send(from, r.cfg.Stream, env)
+}
+
+func (r *Replica) handleStatusReplyLocked(reply *statusReply) {
+	if len(reply.NewViewEnv) > 0 {
+		r.processRelayedNewViewLocked(reply.NewViewEnv)
+	}
+	if reply.StableBatch > r.lowWM {
+		if r.verifyCheckpointProofLocked(reply.StableBatch, reply.StableGlobal, reply.StableChain, reply.StableProof) {
+			r.stabilizeLocked(reply.StableBatch, reply.StableGlobal, reply.StableChain, reply.StableProof)
+		}
+	}
+	for i := range reply.Entries {
+		r.installCommittedEntryLocked(&reply.Entries[i])
+	}
+}
+
+// processRelayedNewViewLocked feeds a relayed new-view envelope
+// through the normal validation path so a replica stuck in an old view
+// can adopt the group's current view. The envelope is self-certifying:
+// it carries the signed view-change quorum.
+func (r *Replica) processRelayedNewViewLocked(env []byte) {
+	var raw signedRaw
+	if err := wire.Decode(env, &raw); err != nil {
+		return
+	}
+	if err := r.verifyRaw(&raw); err != nil {
+		return
+	}
+	tag, msg, err := registry.DecodeFrame(raw.Frame)
+	if err != nil || tag != tagNewView {
+		return
+	}
+	r.handleNewViewLocked(raw.From, msg.(*newView), env)
+}
+
+// verifyCheckpointProofLocked checks a checkpoint certificate: a
+// quorum of distinct group members signed matching checkpoint
+// messages.
+func (r *Replica) verifyCheckpointProofLocked(batch, global uint64, chain crypto.Digest, proof []signedRaw) bool {
+	voters := make(map[ids.NodeID]bool)
+	for i := range proof {
+		raw := &proof[i]
+		if voters[raw.From] {
+			continue
+		}
+		if err := r.verifyRaw(raw); err != nil {
+			continue
+		}
+		tag, msg, err := registry.DecodeFrame(raw.Frame)
+		if err != nil || tag != tagCheckpoint {
+			continue
+		}
+		c := msg.(*checkpointMsg)
+		if c.BatchSeq != batch || c.GlobalSeq != global || c.Chain != chain {
+			continue
+		}
+		voters[raw.From] = true
+	}
+	return r.cfg.Policy.IsQuorum(voters)
+}
+
+// installCommittedEntryLocked verifies a self-contained commit
+// certificate and, if valid, installs the batch as committed.
+func (r *Replica) installCommittedEntryLocked(ce *committedEntry) {
+	if err := r.verifyRaw(&ce.PrePrepare); err != nil {
+		return
+	}
+	tag, msg, err := registry.DecodeFrame(ce.PrePrepare.Frame)
+	if err != nil || tag != tagPrePrepare {
+		return
+	}
+	pp := msg.(*prePrepare)
+	if ce.PrePrepare.From != r.cfg.leaderOf(pp.View) {
+		return
+	}
+	if pp.Seq < r.nextDeliver || pp.Seq <= r.lowWM {
+		return
+	}
+	digest := batchDigest(pp.Payloads)
+	voters := make(map[ids.NodeID]bool)
+	for i := range ce.Commits {
+		raw := &ce.Commits[i]
+		if voters[raw.From] {
+			continue
+		}
+		if err := r.verifyRaw(raw); err != nil {
+			continue
+		}
+		ctag, cmsg, err := registry.DecodeFrame(raw.Frame)
+		if err != nil || ctag != tagCommit {
+			continue
+		}
+		c := cmsg.(*commit)
+		if c.View != pp.View || c.Seq != pp.Seq || c.Digest != digest {
+			continue
+		}
+		voters[raw.From] = true
+	}
+	if !r.cfg.Policy.IsQuorum(voters) {
+		return
+	}
+	e := r.entryLocked(pp.Seq)
+	if e.committed {
+		return
+	}
+	e.view = pp.View
+	e.digest = digest
+	e.payloads = pp.Payloads
+	e.havePP = true
+	e.ppRaw = ce.PrePrepare
+	e.prepared = true
+	e.committed = true
+	if e.seq == r.nextDeliver {
+		r.cond.Broadcast()
+	}
+}
+
+// --- timers ---------------------------------------------------------------
+
+func (r *Replica) timerLoop() {
+	defer r.wg.Done()
+	interval := r.cfg.RequestTimeout / 8
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-ticker.C:
+			r.mu.Lock()
+			r.checkTimeoutsLocked()
+			r.mu.Unlock()
+		}
+	}
+}
+
+func (r *Replica) checkTimeoutsLocked() {
+	if r.stopped {
+		return
+	}
+	now := time.Now()
+
+	// Stuck detection: if delivery has not advanced for a while and
+	// there is evidence the group moved on without us (commit votes we
+	// cannot use, committed batches beyond a gap, or a watermark ahead
+	// of delivery), ask peers for the missing material. A missed
+	// message must trigger state transfer, not a view change.
+	if r.nextDeliver != r.progressSeq {
+		r.progressSeq = r.nextDeliver
+		r.progressAt = now
+	} else if now.Sub(r.progressAt) > r.curTimeout/4 && r.deliveryLooksStuckLocked() {
+		r.maybeRequestStatusLocked()
+	}
+
+	if r.inVC {
+		if now.After(r.vcDeadline) {
+			r.startViewChangeLocked(r.vcTarget + 1)
+		}
+		return
+	}
+	if len(r.pendingSince) == 0 {
+		return
+	}
+	oldest := now
+	for _, t := range r.pendingSince {
+		if t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if now.Sub(oldest) > r.curTimeout {
+		r.startViewChangeLocked(r.view + 1)
+	}
+}
+
+// deliveryLooksStuckLocked reports whether the blocked delivery head is
+// likely waiting for a message this replica missed rather than for the
+// protocol to advance.
+func (r *Replica) deliveryLooksStuckLocked() bool {
+	if r.nextDeliver <= r.lowWM {
+		return true
+	}
+	if e, ok := r.log[r.nextDeliver]; ok {
+		if !e.havePP && len(e.commitVotes) > 0 {
+			return true // peers committed a batch we never saw proposed
+		}
+		if !e.committed && len(e.commitVotes) > r.cfg.Group.F {
+			return true // a correct replica already committed it
+		}
+	}
+	for seq, e := range r.log {
+		if seq > r.nextDeliver && e.committed {
+			return true // gap below committed batches
+		}
+	}
+	return false
+}

@@ -1,0 +1,433 @@
+package pbft
+
+import (
+	"sort"
+	"time"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+)
+
+// startViewChangeLocked abandons the current view and broadcasts a
+// view-change message for target. The consecutive-failure backoff
+// doubles the timeout so competing view changes eventually converge
+// during long partitions.
+func (r *Replica) startViewChangeLocked(target uint64) {
+	if target <= r.view || (r.inVC && target <= r.vcTarget) {
+		return
+	}
+	r.inVC = true
+	r.vcTarget = target
+	r.curTimeout *= 2
+	r.vcDeadline = time.Now().Add(r.curTimeout)
+
+	vc := &viewChange{
+		NewView:      target,
+		StableBatch:  r.lowWM,
+		StableGlobal: r.stableGlobal,
+		StableChain:  r.stableChain,
+		StableProof:  r.stableProof,
+	}
+	seqs := make([]uint64, 0, len(r.log))
+	for seq, e := range r.log {
+		if seq > r.lowWM && e.prepared && e.havePP {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		e := r.log[seq]
+		if len(e.preparedRaws) == 0 && r.cfg.Group.F > 0 {
+			// Prepared via a commit certificate during catch-up: no
+			// transferable prepare votes. Safe to omit — a batch
+			// committed anywhere was prepared by a quorum, so some
+			// view-change quorum member carries a genuine proof.
+			continue
+		}
+		vc.Prepared = append(vc.Prepared, preparedProof{
+			PrePrepare: e.ppRaw,
+			Prepares:   e.preparedRaws,
+		})
+	}
+	env, _ := r.sealLocked(tagViewChange, vc)
+	r.multicastLocked(env)
+}
+
+func (r *Replica) handleViewChangeLocked(from ids.NodeID, vc *viewChange, raw signedRaw) {
+	if vc.NewView <= r.view {
+		return
+	}
+	votes, ok := r.vcs[vc.NewView]
+	if !ok {
+		votes = make(map[ids.NodeID]vcVote)
+		r.vcs[vc.NewView] = votes
+	}
+	if _, dup := votes[from]; dup {
+		return
+	}
+	if !r.verifyViewChangeLocked(vc) {
+		return
+	}
+	votes[from] = vcVote{msg: vc, raw: raw}
+
+	// Liveness amplification: if f+1 distinct replicas want views
+	// beyond ours, at least one correct replica does — join the
+	// smallest such view so the group converges.
+	r.maybeJoinViewChangeLocked()
+
+	// If this replica leads the target view and holds a quorum of
+	// view changes, install the view.
+	if r.cfg.leaderOf(vc.NewView) == r.me {
+		voters := make(map[ids.NodeID]bool, len(votes))
+		for n := range votes {
+			voters[n] = true
+		}
+		if r.cfg.Policy.IsQuorum(voters) {
+			r.buildNewViewLocked(vc.NewView)
+		}
+	}
+}
+
+func (r *Replica) maybeJoinViewChangeLocked() {
+	floor := r.view
+	if r.inVC && r.vcTarget > floor {
+		floor = r.vcTarget
+	}
+	distinct := make(map[ids.NodeID]uint64) // replica -> smallest target above floor
+	for target, votes := range r.vcs {
+		if target <= floor {
+			continue
+		}
+		for n := range votes {
+			if cur, ok := distinct[n]; !ok || target < cur {
+				distinct[n] = target
+			}
+		}
+	}
+	if len(distinct) < r.cfg.Group.F+1 {
+		return
+	}
+	// Join the smallest view at least f+1 replicas are willing to
+	// reach (the maximum of the per-replica minima is safe and keeps
+	// the group together).
+	targets := make([]uint64, 0, len(distinct))
+	for _, t := range distinct {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	join := targets[r.cfg.Group.F] // (f+1)-th smallest
+	r.startViewChangeLocked(join)
+}
+
+// verifyViewChangeLocked validates a view-change message's embedded
+// evidence: the stable-checkpoint certificate and every prepared
+// proof.
+func (r *Replica) verifyViewChangeLocked(vc *viewChange) bool {
+	if vc.StableBatch > 0 &&
+		!r.verifyCheckpointProofLocked(vc.StableBatch, vc.StableGlobal, vc.StableChain, vc.StableProof) {
+		return false
+	}
+	for i := range vc.Prepared {
+		if _, _, ok := r.verifyPreparedProofLocked(&vc.Prepared[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyPreparedProofLocked checks one prepared certificate and
+// returns the decoded pre-prepare.
+func (r *Replica) verifyPreparedProofLocked(proof *preparedProof) (*prePrepare, crypto.Digest, bool) {
+	if err := r.verifyRaw(&proof.PrePrepare); err != nil {
+		return nil, crypto.Digest{}, false
+	}
+	tag, msg, err := registry.DecodeFrame(proof.PrePrepare.Frame)
+	if err != nil || tag != tagPrePrepare {
+		return nil, crypto.Digest{}, false
+	}
+	pp := msg.(*prePrepare)
+	proposer := r.cfg.leaderOf(pp.View)
+	if proof.PrePrepare.From != proposer {
+		return nil, crypto.Digest{}, false
+	}
+	digest := batchDigest(pp.Payloads)
+	voters := map[ids.NodeID]bool{proposer: true}
+	for i := range proof.Prepares {
+		raw := &proof.Prepares[i]
+		if voters[raw.From] || raw.From == proposer {
+			continue
+		}
+		if err := r.verifyRaw(raw); err != nil {
+			continue
+		}
+		ptag, pmsg, err := registry.DecodeFrame(raw.Frame)
+		if err != nil || ptag != tagPrepare {
+			continue
+		}
+		p := pmsg.(*prepare)
+		if p.View != pp.View || p.Seq != pp.Seq || p.Digest != digest {
+			continue
+		}
+		voters[raw.From] = true
+	}
+	if !r.cfg.Policy.IsQuorum(voters) {
+		return nil, crypto.Digest{}, false
+	}
+	return pp, digest, true
+}
+
+// reissuePlan computes, from a set of verified view changes, the
+// stable checkpoint to adopt and the batches the new leader must
+// re-propose. Both the new leader and the followers run it, so a
+// faulty leader cannot smuggle in a different plan.
+type reissuePlan struct {
+	stableBatch  uint64
+	stableGlobal uint64
+	stableChain  crypto.Digest
+	stableProof  []signedRaw
+	// batches maps seq -> payloads of the highest-view prepared proof
+	// (nil payloads mean a null batch).
+	batches map[uint64][][]byte
+	maxSeq  uint64
+}
+
+func (r *Replica) computeReissuePlanLocked(vcs []*viewChange) reissuePlan {
+	plan := reissuePlan{batches: make(map[uint64][][]byte)}
+	for _, vc := range vcs {
+		if vc.StableBatch > plan.stableBatch {
+			plan.stableBatch = vc.StableBatch
+			plan.stableGlobal = vc.StableGlobal
+			plan.stableChain = vc.StableChain
+			plan.stableProof = vc.StableProof
+		}
+	}
+	type chosen struct {
+		view     uint64
+		payloads [][]byte
+	}
+	best := make(map[uint64]chosen)
+	for _, vc := range vcs {
+		for i := range vc.Prepared {
+			// Proofs were verified when the view change was accepted.
+			pp, _, ok := r.verifyPreparedProofLocked(&vc.Prepared[i])
+			if !ok {
+				continue
+			}
+			if pp.Seq <= plan.stableBatch {
+				continue
+			}
+			if cur, ok := best[pp.Seq]; !ok || pp.View > cur.view {
+				best[pp.Seq] = chosen{view: pp.View, payloads: pp.Payloads}
+			}
+		}
+	}
+	for seq := range best {
+		if seq > plan.maxSeq {
+			plan.maxSeq = seq
+		}
+	}
+	if plan.maxSeq < plan.stableBatch {
+		plan.maxSeq = plan.stableBatch
+	}
+	for seq := plan.stableBatch + 1; seq <= plan.maxSeq; seq++ {
+		if c, ok := best[seq]; ok {
+			plan.batches[seq] = c.payloads
+		} else {
+			plan.batches[seq] = nil // null batch fills the gap
+		}
+	}
+	return plan
+}
+
+// buildNewViewLocked is run by the leader of the target view once it
+// holds a quorum of view changes.
+func (r *Replica) buildNewViewLocked(target uint64) {
+	if r.view >= target {
+		return
+	}
+	votes := r.vcs[target]
+	raws := make([]signedRaw, 0, len(votes))
+	msgs := make([]*viewChange, 0, len(votes))
+	for _, v := range votes {
+		raws = append(raws, v.raw)
+		msgs = append(msgs, v.msg)
+	}
+	sort.Slice(raws, func(i, j int) bool { return raws[i].From < raws[j].From })
+
+	plan := r.computeReissuePlanLocked(msgs)
+	nv := &newView{View: target, ViewChanges: raws}
+	seqs := make([]uint64, 0, len(plan.batches))
+	for seq := range plan.batches {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		pp := &prePrepare{View: target, Seq: seq, Payloads: plan.batches[seq]}
+		frame := registry.EncodeFrame(tagPrePrepare, pp)
+		nv.PrePrepares = append(nv.PrePrepares, signedRaw{
+			From:  r.me,
+			Frame: frame,
+			Sig:   r.cfg.Suite.Sign(crypto.DomainPBFT, frame),
+		})
+	}
+	env, _ := r.sealLocked(tagNewView, nv)
+	r.multicastLocked(env)
+	// The leader adopts the view when its own new-view message comes
+	// back through the transport, exactly like the followers.
+}
+
+func (r *Replica) handleNewViewLocked(from ids.NodeID, nv *newView, env []byte) {
+	if nv.View <= r.view || from != r.cfg.leaderOf(nv.View) {
+		return
+	}
+	// Verify the view-change quorum.
+	voters := make(map[ids.NodeID]bool)
+	msgs := make([]*viewChange, 0, len(nv.ViewChanges))
+	for i := range nv.ViewChanges {
+		raw := &nv.ViewChanges[i]
+		if voters[raw.From] {
+			continue
+		}
+		if from != r.me {
+			if err := r.verifyRaw(raw); err != nil {
+				continue
+			}
+		}
+		tag, msg, err := registry.DecodeFrame(raw.Frame)
+		if err != nil || tag != tagViewChange {
+			continue
+		}
+		vc := msg.(*viewChange)
+		if vc.NewView != nv.View {
+			continue
+		}
+		if from != r.me && !r.verifyViewChangeLocked(vc) {
+			continue
+		}
+		voters[raw.From] = true
+		msgs = append(msgs, vc)
+	}
+	if !r.cfg.Policy.IsQuorum(voters) {
+		return
+	}
+	// Recompute the plan independently and insist the leader followed
+	// it: same sequence set, same batch digests, correctly signed
+	// re-issued pre-prepares.
+	plan := r.computeReissuePlanLocked(msgs)
+	if len(nv.PrePrepares) != len(plan.batches) {
+		return
+	}
+	reissues := make([]*prePrepare, 0, len(nv.PrePrepares))
+	for i := range nv.PrePrepares {
+		raw := &nv.PrePrepares[i]
+		if raw.From != from {
+			return
+		}
+		if from != r.me {
+			if err := r.verifyRaw(raw); err != nil {
+				return
+			}
+		}
+		tag, msg, err := registry.DecodeFrame(raw.Frame)
+		if err != nil || tag != tagPrePrepare {
+			return
+		}
+		pp := msg.(*prePrepare)
+		want, ok := plan.batches[pp.Seq]
+		if !ok || pp.View != nv.View {
+			return
+		}
+		if batchDigest(pp.Payloads) != batchDigest(want) {
+			return
+		}
+		reissues = append(reissues, pp)
+	}
+
+	r.adoptViewLocked(nv, plan, reissues, env)
+}
+
+// adoptViewLocked installs the new view: jump to the plan's stable
+// checkpoint if ahead of ours, rebuild the log from the re-issued
+// pre-prepares, requeue orphaned payloads, and resume normal
+// operation.
+func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*prePrepare, env []byte) {
+	r.view = nv.View
+	r.inVC = false
+	r.vcTarget = nv.View
+	r.curTimeout = r.cfg.RequestTimeout
+	r.lastNewViewEnv = env
+	for target := range r.vcs {
+		if target <= r.view {
+			delete(r.vcs, target)
+		}
+	}
+	// Every still-pending request gets a fresh timeout under the new
+	// leader; keeping old timestamps would depose the new leader
+	// before it had any chance to order them.
+	now := time.Now()
+	for d := range r.pendingSince {
+		r.pendingSince[d] = now
+	}
+
+	if plan.stableBatch > r.lowWM {
+		r.stabilizeLocked(plan.stableBatch, plan.stableGlobal, plan.stableChain, plan.stableProof)
+	}
+
+	// Payloads that were in flight but are not part of the new view's
+	// plan go back to the queue.
+	reissued := make(map[crypto.Digest]bool)
+	for _, pp := range reissues {
+		for _, p := range pp.Payloads {
+			reissued[crypto.Hash(p)] = true
+		}
+	}
+	for seq, e := range r.log {
+		if e.delivered || seq <= r.lowWM {
+			continue
+		}
+		for _, p := range e.payloads {
+			d := crypto.Hash(p)
+			if r.seen[d] == reqInflight && !reissued[d] {
+				r.seen[d] = reqQueued
+				r.queue = append(r.queue, queuedReq{payload: p, digest: d})
+			}
+		}
+		delete(r.log, seq)
+	}
+
+	// Install the re-issued pre-prepares and vote for them.
+	leader := r.cfg.leaderOf(nv.View)
+	maxSeq := r.lowWM
+	for i, pp := range reissues {
+		if pp.Seq > maxSeq {
+			maxSeq = pp.Seq
+		}
+		if pp.Seq < r.nextDeliver {
+			continue // already delivered in an earlier view
+		}
+		e := newEntry(pp.Seq)
+		e.view = nv.View
+		e.digest = batchDigest(pp.Payloads)
+		e.payloads = pp.Payloads
+		e.havePP = true
+		e.ppRaw = nv.PrePrepares[i]
+		r.log[pp.Seq] = e
+		for _, p := range pp.Payloads {
+			d := crypto.Hash(p)
+			if r.seen[d] != reqDelivered {
+				r.seen[d] = reqInflight
+			}
+		}
+		if r.me != leader {
+			e.sentPrepare = true
+			env, _ := r.sealLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
+			r.multicastLocked(env)
+		}
+		r.checkPreparedLocked(e)
+	}
+	if r.nextSeq <= maxSeq {
+		r.nextSeq = maxSeq + 1
+	}
+	r.cond.Broadcast()
+	r.maybeProposeLocked(false)
+}

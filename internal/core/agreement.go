@@ -1,0 +1,578 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spider/internal/checkpoint"
+	"spider/internal/consensus"
+	"spider/internal/consensus/pbft"
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/irmc"
+	"spider/internal/wire"
+)
+
+// egroup bundles the agreement replica's per-execution-group state:
+// the IRMC pair connecting to it plus registry metadata.
+type egroup struct {
+	entry      GroupEntry
+	reqRecv    irmc.Receiver
+	commitSend irmc.Sender
+}
+
+// AgreementReplica implements Figure 17 of the paper: it pulls client
+// requests out of the request channels, feeds them to the consensus
+// black box, paces deliveries with the AG-WIN window, distributes
+// Execute messages through the commit channels (waiting for ne−z
+// groups, Section 3.5), checkpoints the counter vector and Execute
+// history, and hosts the execution-replica registry (Section 3.6).
+type AgreementReplica struct {
+	cfg AgreementConfig
+	me  ids.NodeID
+
+	mu   sync.Mutex
+	cond *sync.Cond // win advances and shutdown
+
+	sn     ids.SeqNr
+	winLo  ids.SeqNr
+	winHi  ids.SeqNr
+	t      map[ids.ClientID]uint64 // latest agreed counter per client
+	tplus  map[ids.ClientID]uint64 // next expected counter per client
+	hist   map[ids.SeqNr]histEntry // last CommitChannelCapacity Executes
+	groups map[ids.GroupID]*egroup
+
+	recvLoops map[recvKey]bool // (group, client) loops already running
+
+	ag consensus.Agreement
+	cp *checkpoint.Component
+
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+type recvKey struct {
+	group  ids.GroupID
+	client ids.ClientID
+}
+
+// NewAgreementReplica wires up an agreement replica with a PBFT
+// instance as its consensus black box. Call Start to begin.
+func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
+	cfg.Tunables.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	a := &AgreementReplica{
+		cfg:       cfg,
+		me:        cfg.Suite.Node(),
+		t:         make(map[ids.ClientID]uint64),
+		tplus:     make(map[ids.ClientID]uint64),
+		hist:      make(map[ids.SeqNr]histEntry),
+		groups:    make(map[ids.GroupID]*egroup),
+		recvLoops: make(map[recvKey]bool),
+		winLo:     1,
+		winHi:     ids.SeqNr(cfg.Tunables.AgreementWindow),
+	}
+	a.cond = sync.NewCond(&a.mu)
+
+	pbftCfg := pbft.Config{
+		Group:          cfg.Group,
+		Suite:          cfg.Suite,
+		Node:           cfg.Node,
+		Stream:         pbftStream(cfg.Group.ID),
+		Deliver:        a.deliver,
+		Validate:       a.validatePayload,
+		RequestTimeout: cfg.ConsensusTimeout,
+		BatchSize:      cfg.ConsensusBatch,
+	}
+	agreement, err := pbft.New(pbftCfg)
+	if err != nil {
+		return nil, err
+	}
+	a.ag = agreement
+
+	a.cp, err = checkpoint.New(checkpoint.Config{
+		Group:    cfg.Group,
+		Suite:    cfg.Suite,
+		Node:     cfg.Node,
+		Stream:   checkpointStream(),
+		OnStable: a.onStableCheckpoint,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, entry := range cfg.ExecGroups {
+		if err := a.attachGroupLocked(entry); err != nil {
+			a.cp.Stop()
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Start launches consensus and the registry handler.
+func (a *AgreementReplica) Start() {
+	a.cfg.Node.Handle(clientStream(a.cfg.Group.ID), a.onClientFrame)
+	a.ag.Start()
+}
+
+// Stop shuts the replica down.
+func (a *AgreementReplica) Stop() {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.stopped = true
+	a.cond.Broadcast()
+	groups := make([]*egroup, 0, len(a.groups))
+	for _, g := range a.groups {
+		groups = append(groups, g)
+	}
+	a.mu.Unlock()
+
+	// Close the channels before stopping consensus: PBFT's delivery
+	// goroutine may be blocked inside a commit-channel Send, and only
+	// Close unblocks it.
+	for _, g := range groups {
+		g.reqRecv.Close()
+		g.commitSend.Close()
+	}
+	a.ag.Stop()
+	a.cp.Stop()
+	a.wg.Wait()
+}
+
+// Seq returns the latest agreed sequence number.
+func (a *AgreementReplica) Seq() ids.SeqNr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sn
+}
+
+// Registry returns this replica's current registry view.
+func (a *AgreementReplica) Registry() RegistryInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.registryLocked()
+}
+
+func (a *AgreementReplica) registryLocked() RegistryInfo {
+	info := RegistryInfo{Seq: a.sn}
+	for _, g := range a.groups {
+		info.Entries = append(info.Entries, GroupEntry{Group: g.entry.Group.Clone(), Region: g.entry.Region})
+	}
+	sort.Slice(info.Entries, func(i, j int) bool {
+		return info.Entries[i].Group.ID < info.Entries[j].Group.ID
+	})
+	return info
+}
+
+// attachGroupLocked establishes the IRMC pair for an execution group
+// (also used at construction time, before any concurrency exists).
+func (a *AgreementReplica) attachGroupLocked(entry GroupEntry) error {
+	if _, dup := a.groups[entry.Group.ID]; dup {
+		return fmt.Errorf("core: duplicate execution group %v", entry.Group.ID)
+	}
+	gid := entry.Group.ID
+	reqRecv, err := newChannelReceiver(a.cfg.Tunables.Channel, irmc.Config{
+		Senders:            entry.Group,
+		Receivers:          a.cfg.Group,
+		Capacity:           a.cfg.Tunables.RequestChannelCapacity,
+		Suite:              a.cfg.Suite,
+		Node:               a.cfg.Node,
+		Stream:             requestStream(gid),
+		Meter:              a.cfg.Meter,
+		ProgressIntervalMS: a.cfg.Tunables.ChannelProgressMS,
+		CollectorTimeoutMS: a.cfg.Tunables.ChannelCollectorMS,
+		OnNewSubchannel: func(sc ids.Subchannel) {
+			a.ensureReceiveLoop(gid, ids.ClientID(sc))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	commitSend, err := newChannelSender(a.cfg.Tunables.Channel, irmc.Config{
+		Senders:            a.cfg.Group,
+		Receivers:          entry.Group,
+		Capacity:           a.cfg.Tunables.CommitChannelCapacity,
+		Suite:              a.cfg.Suite,
+		Node:               a.cfg.Node,
+		Stream:             commitStream(gid),
+		Meter:              a.cfg.Meter,
+		ProgressIntervalMS: a.cfg.Tunables.ChannelProgressMS,
+		CollectorTimeoutMS: a.cfg.Tunables.ChannelCollectorMS,
+	})
+	if err != nil {
+		reqRecv.Close()
+		return err
+	}
+	a.groups[gid] = &egroup{
+		entry:      GroupEntry{Group: entry.Group.Clone(), Region: entry.Region},
+		reqRecv:    reqRecv,
+		commitSend: commitSend,
+	}
+	return nil
+}
+
+// ensureReceiveLoop spawns the per-(group, client) request receive
+// loop of lines 13–22 in Figure 17.
+func (a *AgreementReplica) ensureReceiveLoop(gid ids.GroupID, client ids.ClientID) {
+	key := recvKey{group: gid, client: client}
+	a.mu.Lock()
+	if a.stopped || a.recvLoops[key] {
+		a.mu.Unlock()
+		return
+	}
+	g, ok := a.groups[gid]
+	if !ok {
+		a.mu.Unlock()
+		return
+	}
+	a.recvLoops[key] = true
+	recv := g.reqRecv
+	a.wg.Add(1)
+	a.mu.Unlock()
+
+	go a.receiveLoop(recv, client)
+}
+
+func (a *AgreementReplica) receiveLoop(recv irmc.Receiver, client ids.ClientID) {
+	defer a.wg.Done()
+	sub := ids.Subchannel(client)
+	for {
+		a.mu.Lock()
+		if a.stopped {
+			a.mu.Unlock()
+			return
+		}
+		pos := a.tplus[client]
+		if pos == 0 {
+			pos = 1
+		}
+		a.mu.Unlock()
+
+		payload, err := recv.Receive(sub, ids.Position(pos))
+		if err != nil {
+			if tooOld, ok := irmc.AsTooOld(err); ok {
+				// The client already sent a newer request; skip
+				// forward (line 18).
+				a.mu.Lock()
+				if uint64(tooOld.NewStart) > a.tplus[client] {
+					a.tplus[client] = uint64(tooOld.NewStart)
+				}
+				a.mu.Unlock()
+				continue
+			}
+			return // channel closed (group removed or shutdown)
+		}
+		a.ag.Order(payload)
+		a.mu.Lock()
+		if pos+1 > a.tplus[client] {
+			a.tplus[client] = pos + 1
+		}
+		a.mu.Unlock()
+	}
+}
+
+// validatePayload is PBFT's A-Validity hook: only correctly signed
+// client requests from wrapped submissions may be ordered, and admin
+// operations must come from authorized clients.
+func (a *AgreementReplica) validatePayload(payload []byte) error {
+	var wrapped WrappedRequest
+	if err := wire.Decode(payload, &wrapped); err != nil {
+		return err
+	}
+	req := &wrapped.Req
+	switch req.Kind {
+	case KindWrite, KindStrongRead:
+	case KindAdmin:
+		allowed := false
+		for _, c := range a.cfg.AdminClients {
+			if c == req.Client {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			return fmt.Errorf("core: client %v not authorized for admin ops", req.Client)
+		}
+		if _, err := DecodeAdminOp(req.Op); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: kind %v cannot be ordered", req.Kind)
+	}
+	return a.cfg.Suite.Verify(req.Client.Node(), crypto.DomainClientRequest, req.SigPayload(), req.Sig)
+}
+
+// deliver is the consensus black box callback (lines 25–40 of
+// Figure 17). It runs on PBFT's delivery goroutine; blocking here
+// paces the whole agreement pipeline, which is exactly the AG-WIN
+// semantics of the paper.
+func (a *AgreementReplica) deliver(s ids.SeqNr, payload []byte) {
+	var wrapped WrappedRequest
+	if err := wire.Decode(payload, &wrapped); err != nil {
+		return // cannot happen for payloads passing validatePayload
+	}
+
+	a.mu.Lock()
+	for !a.stopped && s > a.winHi {
+		a.cond.Wait() // line 27: sleep until s ≤ max(win)
+	}
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	if s <= a.sn {
+		a.mu.Unlock()
+		return // duplicate delivery after a checkpoint install
+	}
+	client := wrapped.Req.Client
+	if wrapped.Req.Counter > a.t[client] {
+		a.t[client] = wrapped.Req.Counter
+	}
+	if wrapped.Req.Counter+1 > a.tplus[client] {
+		a.tplus[client] = wrapped.Req.Counter + 1
+	}
+	if wrapped.Req.Kind == KindAdmin {
+		a.applyAdminLocked(s, wrapped.Req.Op)
+	}
+	a.hist[s] = histEntry{Seq: s, Req: wrapped}
+	a.pruneHistLocked()
+	a.sn = s
+
+	targets := make([]*egroup, 0, len(a.groups))
+	for _, g := range a.groups {
+		targets = append(targets, g)
+	}
+	ckptDue := uint64(s)%uint64(a.cfg.Tunables.AgreementCheckpointInterval) == 0
+	var snap []byte
+	if ckptDue {
+		snap = a.snapshotLocked()
+	}
+	a.mu.Unlock()
+
+	a.fanOut(s, &wrapped, targets)
+
+	if ckptDue {
+		a.cp.Generate(s, snap)
+	}
+}
+
+// executeFor builds the commit payload for one group: full requests
+// for writes and admin ops everywhere, full for the designated group
+// of a strong read, placeholders elsewhere (Section 3.3).
+func executeFor(s ids.SeqNr, wrapped *WrappedRequest, gid ids.GroupID) []byte {
+	em := ExecuteMsg{Seq: s, Full: true, Req: *wrapped}
+	if wrapped.Req.Kind == KindStrongRead && wrapped.Group != gid {
+		em = ExecuteMsg{Seq: s, Full: false, Client: wrapped.Req.Client, Counter: wrapped.Req.Counter}
+	}
+	return wire.Encode(&em)
+}
+
+// fanOut sends the Execute through every commit channel, returning
+// once ne−z sends completed; stragglers finish in the background
+// (global flow control, Section 3.5).
+func (a *AgreementReplica) fanOut(s ids.SeqNr, wrapped *WrappedRequest, targets []*egroup) {
+	if len(targets) == 0 {
+		return
+	}
+	need := len(targets) - a.cfg.Tunables.SlackGroups
+	if need < 1 {
+		need = 1
+	}
+	done := make(chan struct{}, len(targets))
+	for _, g := range targets {
+		payload := executeFor(s, wrapped, g.entry.Group.ID)
+		sender := g.commitSend
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			_ = sender.Send(0, ids.Position(s), payload)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < need; i++ {
+		<-done
+	}
+}
+
+// pruneHistLocked keeps hist at the commit-channel capacity.
+func (a *AgreementReplica) pruneHistLocked() {
+	capacity := ids.SeqNr(a.cfg.Tunables.CommitChannelCapacity)
+	for seq := range a.hist {
+		if seq+capacity <= a.sn+1 {
+			delete(a.hist, seq)
+		}
+	}
+}
+
+// applyAdminLocked executes a reconfiguration command (Section 3.6).
+// seq is the agreement sequence number the command was ordered at.
+func (a *AgreementReplica) applyAdminLocked(seq ids.SeqNr, op []byte) {
+	admin, err := DecodeAdminOp(op)
+	if err != nil {
+		return
+	}
+	switch admin.Kind {
+	case AdminAddGroup:
+		if err := a.attachGroupLocked(GroupEntry{Group: admin.Group, Region: admin.Region}); err != nil {
+			return
+		}
+		// Anchor the fresh commit channel at the current sequence
+		// number: the new group's replicas, asking for sequence 1,
+		// get TooOld and fetch an execution checkpoint from another
+		// group — the paper's join procedure. Without this the
+		// fan-out would block on a channel whose window never moves.
+		if seq > 1 {
+			a.groups[admin.Group.ID].commitSend.MoveWindow(0, ids.Position(seq))
+		}
+	case AdminRemoveGroup:
+		g, ok := a.groups[admin.Group.ID]
+		if !ok {
+			return
+		}
+		delete(a.groups, admin.Group.ID)
+		for key := range a.recvLoops {
+			if key.group == admin.Group.ID {
+				delete(a.recvLoops, key)
+			}
+		}
+		// Closing the channels unblocks the receive loops, which then
+		// terminate.
+		g.reqRecv.Close()
+		g.commitSend.Close()
+	}
+}
+
+// snapshotLocked builds the agreement checkpoint content (line 40).
+func (a *AgreementReplica) snapshotLocked() []byte {
+	snap := agreementSnapshot{
+		Seq:  a.sn,
+		T:    make(map[ids.ClientID]uint64, len(a.t)),
+		Hist: make([]histEntry, 0, len(a.hist)),
+	}
+	for c, v := range a.t {
+		snap.T[c] = v
+	}
+	seqs := make([]ids.SeqNr, 0, len(a.hist))
+	for s := range a.hist {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		snap.Hist = append(snap.Hist, a.hist[s])
+	}
+	snap.Groups = a.registryLocked().Entries
+	return wire.Encode(&snap)
+}
+
+// onStableCheckpoint implements lines 42–57 of Figure 17.
+func (a *AgreementReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
+	var snap agreementSnapshot
+	if err := wire.Decode(state, &snap); err != nil || snap.Seq != seq {
+		return
+	}
+
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	// Move every commit channel's window (line 45): positions below
+	// seq - |hist| + 1 can no longer be resent.
+	histLen := ids.SeqNr(len(snap.Hist))
+	moveTo := ids.Position(1)
+	if seq > histLen {
+		moveTo = ids.Position(seq-histLen) + 1
+	}
+	for _, g := range a.groups {
+		g.commitSend.MoveWindow(0, moveTo)
+	}
+
+	var missing []histEntry
+	if seq > a.sn {
+		// We fell behind: adopt the checkpoint (lines 47–56).
+		// Reconcile the registry first so commit channels exist for
+		// every group in the snapshot.
+		a.reconcileGroupsLocked(snap.Groups)
+		from := a.sn
+		for _, he := range snap.Hist {
+			if he.Seq > from && he.Seq <= seq {
+				missing = append(missing, he)
+			}
+		}
+		a.sn = seq
+		a.t = snap.T
+		a.hist = make(map[ids.SeqNr]histEntry, len(snap.Hist))
+		for _, he := range snap.Hist {
+			a.hist[he.Seq] = he
+		}
+		for c, v := range a.t {
+			if v+1 > a.tplus[c] {
+				a.tplus[c] = v + 1
+			}
+		}
+	}
+	// Line 57: the window always anchors after the stable checkpoint.
+	a.winLo = seq + 1
+	a.winHi = seq + ids.SeqNr(a.cfg.Tunables.AgreementWindow)
+	targets := make([]*egroup, 0, len(a.groups))
+	for _, g := range a.groups {
+		targets = append(targets, g)
+	}
+	a.cond.Broadcast()
+	a.mu.Unlock()
+
+	// Let consensus forget everything the checkpoint covers (line 46).
+	a.ag.GC(seq + 1)
+
+	// Resend the skipped Executes through the commit channels
+	// (lines 52–56); ne−z semantics as in normal fan-out.
+	for i := range missing {
+		he := missing[i]
+		a.fanOut(he.Seq, &he.Req, targets)
+	}
+}
+
+// reconcileGroupsLocked aligns the group set with a checkpoint's
+// registry.
+func (a *AgreementReplica) reconcileGroupsLocked(entries []GroupEntry) {
+	want := make(map[ids.GroupID]GroupEntry, len(entries))
+	for _, e := range entries {
+		want[e.Group.ID] = e
+	}
+	for gid, g := range a.groups {
+		if _, ok := want[gid]; !ok {
+			delete(a.groups, gid)
+			g.reqRecv.Close()
+			g.commitSend.Close()
+		}
+	}
+	for gid, e := range want {
+		if _, ok := a.groups[gid]; !ok {
+			_ = a.attachGroupLocked(e)
+		}
+	}
+}
+
+// onClientFrame serves registry queries (the execution-replica
+// registry is a BFT service hosted by the agreement group).
+func (a *AgreementReplica) onClientFrame(from ids.NodeID, payload []byte) {
+	tag, msg, err := openClientFrame(a.cfg.Suite, crypto.DomainClientRequest, from, payload)
+	if err != nil || tag != tagRegistryQuery {
+		return
+	}
+	query := msg.(*RegistryQuery)
+	if query.Client.Node() != from {
+		return
+	}
+	info := a.Registry()
+	frame := clientRegistry.EncodeFrame(tagRegistryInfo, &info)
+	env := sealClientFrame(a.cfg.Suite, crypto.DomainReply, frame, from)
+	a.cfg.Node.Send(from, replyStream(), env)
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/wire"
+)
+
+// Client implements Figure 15 of the paper: it submits operations to
+// every replica of its execution group, resends until it obtains fe+1
+// matching replies, and verifies results purely against its local
+// group. Clients are safe for use by one goroutine at a time (the
+// paper's clients are sequential: a new request starts only after the
+// previous reply was accepted).
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	group   ids.Group
+	counter uint64
+	waiting *replyWait
+
+	registered sync.Once
+}
+
+// replyWait collects replies for one in-flight request.
+type replyWait struct {
+	counter uint64
+	need    int
+	votes   map[ids.NodeID][]byte // replica -> result
+	done    chan []byte           // closed with the accepted result
+}
+
+// ErrTimeout is returned when an operation misses its deadline.
+var ErrTimeout = errors.New("core: operation deadline exceeded")
+
+// NewClient creates a client handle.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg, group: cfg.Group.Clone(), counter: cfg.CounterStart}, nil
+}
+
+// Group returns the execution group the client currently uses.
+func (c *Client) Group() ids.Group {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.group.Clone()
+}
+
+// SwitchGroup redirects the client to a different execution group,
+// e.g. when its group became unavailable (Section 3.1) or a closer
+// group appeared (Section 3.6).
+func (c *Client) SwitchGroup(g ids.Group) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.group = g.Clone()
+}
+
+// Write submits a state-modifying operation with linearizable
+// semantics.
+func (c *Client) Write(op []byte) ([]byte, error) {
+	return c.do(KindWrite, op)
+}
+
+// StrongRead submits a read with strong consistency: it follows the
+// write path through the agreement group (Section 3.3).
+func (c *Client) StrongRead(op []byte) ([]byte, error) {
+	return c.do(KindStrongRead, op)
+}
+
+// WeakRead reads directly from the local execution group: one
+// round trip, possibly stale under concurrent writes. Callers retry or
+// escalate to StrongRead when it fails to gather matching replies.
+func (c *Client) WeakRead(op []byte) ([]byte, error) {
+	return c.do(KindWeakRead, op)
+}
+
+// Admin submits a reconfiguration command; the client must be listed
+// in the agreement group's AdminClients.
+func (c *Client) Admin(op AdminOp) error {
+	_, err := c.do(KindAdmin, EncodeAdminOp(op))
+	return err
+}
+
+func (c *Client) ensureHandler() {
+	c.registered.Do(func() {
+		c.cfg.Node.Handle(replyStream(), c.onReply)
+	})
+}
+
+func (c *Client) do(kind RequestKind, op []byte) ([]byte, error) {
+	c.ensureHandler()
+
+	c.mu.Lock()
+	c.counter++
+	req := ClientRequest{
+		Kind:    kind,
+		Client:  c.cfg.ID,
+		Counter: c.counter,
+		Op:      op,
+	}
+	if kind != KindWeakRead {
+		// Weak reads are MAC-authenticated only; everything that can
+		// reach the agreement group carries the client signature the
+		// protocol verifies (A-Validity).
+		req.Sig = c.cfg.Suite.Sign(crypto.DomainClientRequest, req.SigPayload())
+	}
+	group := c.group.Clone()
+	wait := &replyWait{
+		counter: req.Counter,
+		need:    group.F + 1,
+		votes:   make(map[ids.NodeID][]byte),
+		done:    make(chan []byte, 1),
+	}
+	c.waiting = wait
+	c.mu.Unlock()
+
+	frame := clientRegistry.EncodeFrame(tagRequest, &req)
+	deadline := time.Now().Add(c.cfg.Deadline)
+	for {
+		// Broadcast to the (current) group; the group can change
+		// between retries via SwitchGroup.
+		c.mu.Lock()
+		group = c.group.Clone()
+		c.mu.Unlock()
+		for _, replica := range group.Members {
+			env := sealClientFrame(c.cfg.Suite, crypto.DomainClientRequest, frame, replica)
+			c.cfg.Node.Send(replica, clientStream(group.ID), env)
+		}
+
+		retry := time.NewTimer(c.cfg.Retry)
+		select {
+		case result := <-wait.done:
+			retry.Stop()
+			return result, nil
+		case <-retry.C:
+			if time.Now().After(deadline) {
+				c.mu.Lock()
+				c.waiting = nil
+				c.mu.Unlock()
+				return nil, fmt.Errorf("%w: %s counter %d", ErrTimeout, kind, req.Counter)
+			}
+		}
+	}
+}
+
+// onReply collects replica replies; fe+1 matching results complete the
+// pending operation (lines 17–24 of Figure 15).
+func (c *Client) onReply(from ids.NodeID, payload []byte) {
+	tag, msg, err := openClientFrame(c.cfg.Suite, crypto.DomainReply, from, payload)
+	if err != nil || tag != tagReply {
+		return
+	}
+	reply := msg.(*Reply)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wait := c.waiting
+	if wait == nil || reply.Counter != wait.counter {
+		return
+	}
+	if !c.group.Contains(from) {
+		return // replies only count from the current group
+	}
+	if _, dup := wait.votes[from]; dup {
+		return // one vote per replica
+	}
+	wait.votes[from] = reply.Result
+
+	matching := 0
+	for _, r := range wait.votes {
+		if bytes.Equal(r, reply.Result) {
+			matching++
+		}
+	}
+	if matching >= wait.need {
+		c.waiting = nil
+		wait.done <- reply.Result
+	}
+}
+
+// QueryRegistry asks the agreement group for the execution-replica
+// registry, accepting the first view confirmed by fa+1 replicas.
+func (c *Client) QueryRegistry() (RegistryInfo, error) {
+	if len(c.cfg.AgreementGroup.Members) == 0 {
+		return RegistryInfo{}, errors.New("core: no agreement group configured")
+	}
+	c.ensureHandler()
+
+	votes := make(chan RegistryInfo, len(c.cfg.AgreementGroup.Members))
+	c.cfg.Node.Handle(replyStream(), func(from ids.NodeID, payload []byte) {
+		// Registry replies and operation replies share the inbox;
+		// dispatch on the tag and forward anything else to the
+		// regular handler.
+		tag, msg, err := openClientFrame(c.cfg.Suite, crypto.DomainReply, from, payload)
+		if err != nil {
+			return
+		}
+		if tag == tagRegistryInfo && c.cfg.AgreementGroup.Contains(from) {
+			votes <- *msg.(*RegistryInfo)
+			return
+		}
+		if tag == tagReply {
+			c.onReply(from, payload)
+		}
+	})
+
+	query := RegistryQuery{Client: c.cfg.ID}
+	frame := clientRegistry.EncodeFrame(tagRegistryQuery, &query)
+	for _, replica := range c.cfg.AgreementGroup.Members {
+		env := sealClientFrame(c.cfg.Suite, crypto.DomainClientRequest, frame, replica)
+		c.cfg.Node.Send(replica, clientStream(c.cfg.AgreementGroup.ID), env)
+	}
+
+	need := c.cfg.AgreementGroup.F + 1
+	counts := make(map[string]int)
+	infos := make(map[string]RegistryInfo)
+	deadline := time.After(c.cfg.Deadline)
+	for {
+		select {
+		case info := <-votes:
+			key := string(wire.Encode(&RegistryInfo{Entries: info.Entries})) // ignore Seq for matching
+			counts[key]++
+			infos[key] = info
+			if counts[key] >= need {
+				return infos[key], nil
+			}
+		case <-deadline:
+			return RegistryInfo{}, fmt.Errorf("%w: registry query", ErrTimeout)
+		}
+	}
+}

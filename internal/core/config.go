@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/irmc"
+	"spider/internal/irmc/rc"
+	"spider/internal/irmc/sc"
+	"spider/internal/stats"
+	"spider/internal/transport"
+)
+
+// ChannelKind selects the IRMC implementation for a deployment
+// (Section 4: IRMC-RC or IRMC-SC).
+type ChannelKind int
+
+// Channel kinds.
+const (
+	ChannelRC ChannelKind = iota // receiver-side collection (default)
+	ChannelSC                    // sender-side collection
+)
+
+// String names the kind.
+func (k ChannelKind) String() string {
+	if k == ChannelSC {
+		return "irmc-sc"
+	}
+	return "irmc-rc"
+}
+
+// Tunables bundles the protocol parameters shared by the replica
+// roles. The zero value selects the defaults listed per field.
+type Tunables struct {
+	// RequestChannelCapacity is the per-client request subchannel
+	// capacity; the paper uses 2 (|rE,c| = 2).
+	RequestChannelCapacity int
+	// CommitChannelCapacity is the commit subchannel capacity |cE,0|;
+	// it must be at least the execution checkpoint interval
+	// (default 128).
+	CommitChannelCapacity int
+	// ExecutionCheckpointInterval is ke (default 64).
+	ExecutionCheckpointInterval int
+	// AgreementCheckpointInterval is ka (default 64).
+	AgreementCheckpointInterval int
+	// AgreementWindow is AG-WIN, at least ka (default 128).
+	AgreementWindow int
+	// SlackGroups is z: how many trailing execution groups the
+	// agreement group does not wait for (default 0).
+	SlackGroups int
+	// Channel selects the IRMC implementation.
+	Channel ChannelKind
+	// ChannelProgressMS / ChannelCollectorMS tune IRMC-SC.
+	ChannelProgressMS  int
+	ChannelCollectorMS int
+}
+
+func (t *Tunables) applyDefaults() {
+	if t.RequestChannelCapacity <= 0 {
+		t.RequestChannelCapacity = 2
+	}
+	if t.ExecutionCheckpointInterval <= 0 {
+		t.ExecutionCheckpointInterval = 64
+	}
+	if t.AgreementCheckpointInterval <= 0 {
+		t.AgreementCheckpointInterval = 64
+	}
+	if t.CommitChannelCapacity <= 0 {
+		t.CommitChannelCapacity = 2 * t.ExecutionCheckpointInterval
+	}
+	if t.AgreementWindow <= 0 {
+		t.AgreementWindow = 2 * t.AgreementCheckpointInterval
+	}
+}
+
+func (t *Tunables) validate() error {
+	if t.CommitChannelCapacity < t.ExecutionCheckpointInterval {
+		// Liveness condition of Section 3.4: the checkpoint interval
+		// must be smaller than the input channel capacity.
+		return fmt.Errorf("core: commit capacity %d < execution checkpoint interval %d breaks liveness",
+			t.CommitChannelCapacity, t.ExecutionCheckpointInterval)
+	}
+	if t.AgreementWindow < t.AgreementCheckpointInterval {
+		return fmt.Errorf("core: AG-WIN %d < ka %d breaks agreement liveness",
+			t.AgreementWindow, t.AgreementCheckpointInterval)
+	}
+	if t.SlackGroups < 0 {
+		return errors.New("core: negative slack")
+	}
+	return nil
+}
+
+// Streams derive every channel's transport stream from group ids so
+// all parties agree without coordination.
+func requestStream(execGroup ids.GroupID) transport.Stream {
+	return transport.MakeStream(transport.KindRequestCh, uint32(execGroup))
+}
+
+func commitStream(execGroup ids.GroupID) transport.Stream {
+	return transport.MakeStream(transport.KindCommitCh, uint32(execGroup))
+}
+
+func clientStream(group ids.GroupID) transport.Stream {
+	return transport.MakeStream(transport.KindClient, uint32(group))
+}
+
+// replyStream is the client-side inbox for replies.
+func replyStream() transport.Stream {
+	return transport.MakeStream(transport.KindClient, 0)
+}
+
+// checkpointStream is shared by all groups; cross-group state fetches
+// (Section 3.5) rely on every replica listening on the same stream,
+// with group separation enforced cryptographically inside the
+// messages.
+func checkpointStream() transport.Stream {
+	return transport.MakeStream(transport.KindCheckpoint, 0)
+}
+
+func pbftStream(group ids.GroupID) transport.Stream {
+	return transport.MakeStream(transport.KindPBFT, uint32(group))
+}
+
+// newChannelSender builds an IRMC sender endpoint of the configured
+// kind.
+func newChannelSender(kind ChannelKind, cfg irmc.Config) (irmc.Sender, error) {
+	if kind == ChannelSC {
+		return sc.NewSender(cfg)
+	}
+	return rc.NewSender(cfg)
+}
+
+// newChannelReceiver builds an IRMC receiver endpoint of the
+// configured kind.
+func newChannelReceiver(kind ChannelKind, cfg irmc.Config) (irmc.Receiver, error) {
+	if kind == ChannelSC {
+		return sc.NewReceiver(cfg)
+	}
+	return rc.NewReceiver(cfg)
+}
+
+// ExecutionConfig parameterizes one execution replica.
+type ExecutionConfig struct {
+	// Group is the replica's execution group (2fe+1 members).
+	Group ids.Group
+	// AgreementGroup is the deployment's agreement group.
+	AgreementGroup ids.Group
+	// PeerGroups are other execution groups this replica may fetch
+	// checkpoints from (Section 3.5); extendable at runtime.
+	PeerGroups []ids.Group
+	// Suite, Node: identity and transport.
+	Suite crypto.Suite
+	Node  transport.Node
+	// App is the hosted application instance (not shared).
+	App Application
+	// Tunables: protocol parameters.
+	Tunables Tunables
+	// Meter, when set, accounts this replica's processing time.
+	Meter *stats.CPUMeter
+}
+
+// Application is re-exported so the public API does not leak internal
+// paths; it matches internal/app.Application.
+type Application interface {
+	Execute(op []byte) []byte
+	ExecuteRead(op []byte) []byte
+	Snapshot() []byte
+	Restore(snapshot []byte) error
+}
+
+func (c *ExecutionConfig) validate() error {
+	if len(c.Group.Members) < 2*c.Group.F+1 {
+		return fmt.Errorf("core: execution group size %d < 2f+1", len(c.Group.Members))
+	}
+	if len(c.AgreementGroup.Members) == 0 {
+		return errors.New("core: agreement group required")
+	}
+	if c.Suite == nil || c.Node == nil || c.App == nil {
+		return errors.New("core: suite, node and app required")
+	}
+	if !c.Group.Contains(c.Suite.Node()) {
+		return fmt.Errorf("core: replica %v not in group %v", c.Suite.Node(), c.Group.ID)
+	}
+	return c.Tunables.validate()
+}
+
+// AgreementConfig parameterizes one agreement replica.
+type AgreementConfig struct {
+	// Group is the agreement group (3fa+1 members for PBFT).
+	Group ids.Group
+	// ExecGroups are the initial execution groups with their registry
+	// annotations.
+	ExecGroups []GroupEntry
+	// AdminClients may issue reconfiguration commands.
+	AdminClients []ids.ClientID
+	// Suite, Node: identity and transport.
+	Suite crypto.Suite
+	Node  transport.Node
+	// Tunables: protocol parameters.
+	Tunables Tunables
+	// ConsensusTimeout is PBFT's request timeout (defaults to 1s; the
+	// agreement group sits in one region, so it can be tight).
+	ConsensusTimeout time.Duration
+	// ConsensusBatch caps payloads per consensus instance (default 8).
+	ConsensusBatch int
+	// Meter, when set, accounts this replica's processing time.
+	Meter *stats.CPUMeter
+}
+
+func (c *AgreementConfig) validate() error {
+	if len(c.Group.Members) < 3*c.Group.F+1 {
+		return fmt.Errorf("core: agreement group size %d < 3f+1", len(c.Group.Members))
+	}
+	if c.Suite == nil || c.Node == nil {
+		return errors.New("core: suite and node required")
+	}
+	if !c.Group.Contains(c.Suite.Node()) {
+		return fmt.Errorf("core: replica %v not in group %v", c.Suite.Node(), c.Group.ID)
+	}
+	return c.Tunables.validate()
+}
+
+// ClientConfig parameterizes a client handle.
+type ClientConfig struct {
+	// ID is the client identity (shares the node id space).
+	ID ids.ClientID
+	// Group is the execution group the client talks to.
+	Group ids.Group
+	// AgreementGroup enables registry queries; optional.
+	AgreementGroup ids.Group
+	// Suite, Node: identity and transport.
+	Suite crypto.Suite
+	Node  transport.Node
+	// Retry is the resend interval (t_retry, default 500ms).
+	Retry time.Duration
+	// Deadline bounds one operation end to end (default 30s).
+	Deadline time.Duration
+	// CounterStart seeds the request counter. A client identity must
+	// never reuse counters across sessions (replicas deduplicate by
+	// counter); short-lived processes pass a persisted or time-derived
+	// value here.
+	CounterStart uint64
+}
+
+func (c *ClientConfig) validate() error {
+	if !c.ID.Valid() {
+		return errors.New("core: client id required")
+	}
+	if len(c.Group.Members) < 2*c.Group.F+1 {
+		return fmt.Errorf("core: client group size %d < 2f+1", len(c.Group.Members))
+	}
+	if c.Suite == nil || c.Node == nil {
+		return errors.New("core: suite and node required")
+	}
+	return nil
+}
+
+func (c *ClientConfig) applyDefaults() {
+	if c.Retry <= 0 {
+		c.Retry = 500 * time.Millisecond
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 30 * time.Second
+	}
+}

@@ -1,0 +1,473 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"spider/internal/checkpoint"
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/irmc"
+	"spider/internal/wire"
+)
+
+// ExecutionReplica implements Figure 16 of the paper: it validates and
+// forwards client requests to the agreement group through the request
+// channel, executes the totally ordered requests arriving on the
+// commit channel, answers clients, serves weakly consistent reads
+// locally, and maintains execution checkpoints.
+type ExecutionReplica struct {
+	cfg ExecutionConfig
+	me  ids.NodeID
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals sn advances (checkpoint installs)
+
+	sn      ids.SeqNr
+	t       map[ids.ClientID]uint64          // latest forwarded counter per client
+	replies map[ids.ClientID]replyCacheEntry // u[c]
+
+	reqSender  irmc.Sender
+	commitRecv irmc.Receiver
+	cp         *checkpoint.Component
+
+	forwarders map[ids.ClientID]*forwarder
+
+	stopped bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewExecutionReplica wires up an execution replica. Call Start to
+// begin processing.
+func NewExecutionReplica(cfg ExecutionConfig) (*ExecutionReplica, error) {
+	cfg.Tunables.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &ExecutionReplica{
+		cfg:        cfg,
+		me:         cfg.Suite.Node(),
+		t:          make(map[ids.ClientID]uint64),
+		replies:    make(map[ids.ClientID]replyCacheEntry),
+		forwarders: make(map[ids.ClientID]*forwarder),
+		done:       make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+
+	var err error
+	e.reqSender, err = newChannelSender(cfg.Tunables.Channel, irmc.Config{
+		Senders:            cfg.Group,
+		Receivers:          cfg.AgreementGroup,
+		Capacity:           cfg.Tunables.RequestChannelCapacity,
+		Suite:              cfg.Suite,
+		Node:               cfg.Node,
+		Stream:             requestStream(cfg.Group.ID),
+		Meter:              cfg.Meter,
+		ProgressIntervalMS: cfg.Tunables.ChannelProgressMS,
+		CollectorTimeoutMS: cfg.Tunables.ChannelCollectorMS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.commitRecv, err = newChannelReceiver(cfg.Tunables.Channel, irmc.Config{
+		Senders:            cfg.AgreementGroup,
+		Receivers:          cfg.Group,
+		Capacity:           cfg.Tunables.CommitChannelCapacity,
+		Suite:              cfg.Suite,
+		Node:               cfg.Node,
+		Stream:             commitStream(cfg.Group.ID),
+		Meter:              cfg.Meter,
+		ProgressIntervalMS: cfg.Tunables.ChannelProgressMS,
+		CollectorTimeoutMS: cfg.Tunables.ChannelCollectorMS,
+	})
+	if err != nil {
+		e.reqSender.Close()
+		return nil, err
+	}
+	e.cp, err = checkpoint.New(checkpoint.Config{
+		Group:    cfg.Group,
+		Suite:    cfg.Suite,
+		Node:     cfg.Node,
+		Stream:   checkpointStream(),
+		OnStable: e.onStableCheckpoint,
+	})
+	if err != nil {
+		e.reqSender.Close()
+		e.commitRecv.Close()
+		return nil, err
+	}
+	for _, g := range cfg.PeerGroups {
+		e.cp.AddFetchPeers(g)
+	}
+	return e, nil
+}
+
+// Start launches the main execution loop and registers the client
+// handler.
+func (e *ExecutionReplica) Start() {
+	e.cfg.Node.Handle(clientStream(e.cfg.Group.ID), e.onClientFrame)
+	e.wg.Add(1)
+	go e.mainLoop()
+}
+
+// Stop shuts the replica down and waits for its goroutines.
+func (e *ExecutionReplica) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	close(e.done)
+	for _, f := range e.forwarders {
+		f.stop()
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	e.reqSender.Close()
+	e.commitRecv.Close()
+	e.cp.Stop()
+	e.wg.Wait()
+}
+
+// Seq returns the latest executed sequence number.
+func (e *ExecutionReplica) Seq() ids.SeqNr {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sn
+}
+
+// AddPeerGroup registers another execution group as a checkpoint
+// source (used when groups join at runtime).
+func (e *ExecutionReplica) AddPeerGroup(g ids.Group) { e.cp.AddFetchPeers(g) }
+
+// Inspect runs f with the application while the replica's state lock
+// is held, so tests and operational tooling can examine local state
+// without racing ordered execution. f must not block or mutate.
+func (e *ExecutionReplica) Inspect(f func(app Application)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f(e.cfg.App)
+}
+
+// --- client traffic -------------------------------------------------------
+
+func (e *ExecutionReplica) onClientFrame(from ids.NodeID, payload []byte) {
+	if e.cfg.Meter != nil {
+		defer e.cfg.Meter.Track()()
+	}
+	tag, msg, err := openClientFrame(e.cfg.Suite, crypto.DomainClientRequest, from, payload)
+	if err != nil || tag != tagRequest {
+		return
+	}
+	req := msg.(*ClientRequest)
+	if req.Client.Node() != from {
+		return // requests must come from their author
+	}
+	switch req.Kind {
+	case KindWeakRead:
+		e.serveWeakRead(req)
+	case KindWrite, KindStrongRead, KindAdmin:
+		e.acceptRequest(req)
+	}
+}
+
+// serveWeakRead answers immediately from local state (Section 3.3):
+// low latency, no agreement, results may be stale under concurrency.
+func (e *ExecutionReplica) serveWeakRead(req *ClientRequest) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	result := e.cfg.App.ExecuteRead(req.Op)
+	e.mu.Unlock()
+	e.sendReply(req.Client, req.Counter, result)
+}
+
+// acceptRequest implements lines 8–22 of Figure 16.
+func (e *ExecutionReplica) acceptRequest(req *ClientRequest) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	if req.Counter <= e.t[req.Client] {
+		// Old or retried request: answer from the reply cache if the
+		// result exists; stay silent while it is still in flight.
+		cached, ok := e.replies[req.Client]
+		e.mu.Unlock()
+		if ok && cached.Counter == req.Counter && !cached.Placeholder {
+			e.sendReply(req.Client, req.Counter, cached.Result)
+		}
+		return
+	}
+	e.mu.Unlock()
+
+	// Verify the client signature only for requests we are about to
+	// forward (the expensive check runs at most once per request).
+	if err := e.cfg.Suite.Verify(req.Client.Node(), crypto.DomainClientRequest, req.SigPayload(), req.Sig); err != nil {
+		return
+	}
+
+	e.mu.Lock()
+	if e.stopped || req.Counter <= e.t[req.Client] {
+		e.mu.Unlock()
+		return
+	}
+	e.t[req.Client] = req.Counter
+	fwd, ok := e.forwarders[req.Client]
+	if !ok {
+		fwd = newForwarder()
+		e.forwarders[req.Client] = fwd
+		e.wg.Add(1)
+		go e.runForwarder(fwd, req.Client)
+	}
+	e.mu.Unlock()
+
+	wrapped := WrappedRequest{Req: *req, Group: e.cfg.Group.ID}
+	fwd.offer(pendingForward{counter: req.Counter, payload: wire.Encode(&wrapped)})
+}
+
+// pendingForward is one request awaiting submission to the request
+// channel.
+type pendingForward struct {
+	counter uint64
+	payload []byte
+}
+
+// forwarder serializes a client's submissions into its request
+// subchannel. Send can block on flow control, so each client gets a
+// dedicated goroutine with a latest-wins mailbox: a correct client has
+// at most one outstanding request, and a faulty client flooding
+// counters only replaces its own pending entry (Section 3.7 isolation).
+type forwarder struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending *pendingForward
+	stopped bool
+}
+
+func newForwarder() *forwarder {
+	f := &forwarder{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *forwarder) offer(p pendingForward) {
+	f.mu.Lock()
+	if !f.stopped {
+		f.pending = &p
+		f.cond.Signal()
+	}
+	f.mu.Unlock()
+}
+
+func (f *forwarder) take() (pendingForward, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.pending == nil && !f.stopped {
+		f.cond.Wait()
+	}
+	if f.stopped {
+		return pendingForward{}, false
+	}
+	p := *f.pending
+	f.pending = nil
+	return p, true
+}
+
+func (f *forwarder) stop() {
+	f.mu.Lock()
+	f.stopped = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+func (e *ExecutionReplica) runForwarder(f *forwarder, client ids.ClientID) {
+	defer e.wg.Done()
+	sub := ids.Subchannel(client)
+	for {
+		p, ok := f.take()
+		if !ok {
+			return
+		}
+		// Lines 21–22 of Figure 16: move the client's subchannel
+		// window to the new counter, then insert the request there.
+		e.reqSender.MoveWindow(sub, ids.Position(p.counter))
+		// Send may return TooOld when the client has already moved
+		// on; that is exactly the paper's garbage-collection rule.
+		_ = e.reqSender.Send(sub, ids.Position(p.counter), p.payload)
+	}
+}
+
+func (e *ExecutionReplica) sendReply(client ids.ClientID, counter uint64, result []byte) {
+	reply := &Reply{Counter: counter, Result: result}
+	frame := clientRegistry.EncodeFrame(tagReply, reply)
+	env := sealClientFrame(e.cfg.Suite, crypto.DomainReply, frame, client.Node())
+	e.cfg.Node.Send(client.Node(), replyStream(), env)
+}
+
+// --- ordered execution ----------------------------------------------------
+
+// mainLoop implements lines 24–40 of Figure 16.
+func (e *ExecutionReplica) mainLoop() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		if e.stopped {
+			e.mu.Unlock()
+			return
+		}
+		next := e.sn + 1
+		e.mu.Unlock()
+
+		payload, err := e.commitRecv.Receive(0, ids.Position(next))
+		if err != nil {
+			if tooOld, ok := irmc.AsTooOld(err); ok {
+				// We missed agreed requests: fetch an execution
+				// checkpoint (ours or another group's) and wait for
+				// it to install (lines 27–29).
+				e.cp.Fetch(ids.SeqNr(tooOld.NewStart) - 1)
+				e.waitSeqAdvance(next, 50*time.Millisecond)
+				continue
+			}
+			return // channel closed
+		}
+
+		var em ExecuteMsg
+		if err := wire.Decode(payload, &em); err != nil {
+			// A corrupt Execute cannot pass fa+1 matching senders;
+			// skipping it would desynchronize us, so halt this seq
+			// until a checkpoint repairs the state.
+			e.waitSeqAdvance(next, 100*time.Millisecond)
+			continue
+		}
+
+		e.mu.Lock()
+		if e.stopped {
+			e.mu.Unlock()
+			return
+		}
+		if em.Seq != next || e.sn+1 != next {
+			// A checkpoint installed while we were blocked; redo.
+			e.mu.Unlock()
+			continue
+		}
+		e.executeLocked(&em)
+		e.sn = next
+		ckptDue := uint64(e.sn)%uint64(e.cfg.Tunables.ExecutionCheckpointInterval) == 0
+		var snap []byte
+		if ckptDue {
+			snap = e.snapshotLocked()
+		}
+		e.mu.Unlock()
+
+		if ckptDue {
+			e.cp.Generate(next, snap)
+		}
+	}
+}
+
+// waitSeqAdvance blocks until sn reaches at least next or the timeout
+// elapses (wakeups come from checkpoint installs).
+func (e *ExecutionReplica) waitSeqAdvance(next ids.SeqNr, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	e.mu.Lock()
+	for !e.stopped && e.sn+1 <= next {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		// Condition variables lack timed waits; poll coarsely.
+		e.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		e.mu.Lock()
+	}
+	e.mu.Unlock()
+}
+
+// executeLocked implements lines 31–38 of Figure 16.
+func (e *ExecutionReplica) executeLocked(em *ExecuteMsg) {
+	if !em.Full {
+		// Strong-read placeholder for another group: remember the
+		// counter so duplicates are filtered, store no result.
+		if cur, ok := e.replies[em.Client]; !ok || cur.Counter < em.Counter {
+			e.replies[em.Client] = replyCacheEntry{Counter: em.Counter, Placeholder: true}
+		}
+		return
+	}
+	req := &em.Req.Req
+	cur, seen := e.replies[req.Client]
+	if seen && cur.Counter >= req.Counter {
+		return // at-most-once: old or duplicate request (line 34)
+	}
+	var result []byte
+	switch req.Kind {
+	case KindWrite:
+		result = e.cfg.App.Execute(req.Op)
+	case KindStrongRead:
+		result = e.cfg.App.ExecuteRead(req.Op)
+	case KindAdmin:
+		// Reconfigurations execute at the agreement group; execution
+		// groups acknowledge so the admin client gets a verifiable
+		// quorum of replies.
+		result = []byte("admin-ok")
+	default:
+		return
+	}
+	e.replies[req.Client] = replyCacheEntry{Counter: req.Counter, Result: result}
+	if req.Counter > e.t[req.Client] {
+		e.t[req.Client] = req.Counter
+	}
+	if em.Req.Group == e.cfg.Group.ID {
+		// Only the client's own group answers (line 37).
+		e.sendReply(req.Client, req.Counter, result)
+	}
+}
+
+// snapshotLocked builds the execution checkpoint content.
+func (e *ExecutionReplica) snapshotLocked() []byte {
+	snap := execSnapshot{
+		Seq:     e.sn,
+		Replies: make(map[ids.ClientID]replyCacheEntry, len(e.replies)),
+		App:     e.cfg.App.Snapshot(),
+	}
+	for c, r := range e.replies {
+		snap.Replies[c] = r
+	}
+	return wire.Encode(&snap)
+}
+
+// onStableCheckpoint implements lines 42–48 of Figure 16.
+func (e *ExecutionReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
+	var snap execSnapshot
+	if err := wire.Decode(state, &snap); err != nil || snap.Seq != seq {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
+	// Permit commit-channel garbage collection up to the checkpoint.
+	e.commitRecv.MoveWindow(0, ids.Position(seq)+1)
+	if seq < e.sn {
+		return
+	}
+	if seq > e.sn {
+		if err := e.cfg.App.Restore(snap.App); err != nil {
+			return
+		}
+		e.replies = snap.Replies
+		for c, r := range snap.Replies {
+			if r.Counter > e.t[c] {
+				e.t[c] = r.Counter
+			}
+		}
+		e.sn = seq
+	}
+	e.cond.Broadcast()
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spider/internal/ids"
+	"spider/internal/wire"
+)
+
+// TestQuickClientRequestRoundTrip: every client request survives the
+// codec byte for byte (signatures are computed over these bytes).
+func TestQuickClientRequestRoundTrip(t *testing.T) {
+	f := func(kind uint8, client int32, counter uint64, op, sig []byte) bool {
+		in := ClientRequest{
+			Kind:    RequestKind(kind),
+			Client:  ids.ClientID(client),
+			Counter: counter,
+			Op:      op,
+			Sig:     sig,
+		}
+		var out ClientRequest
+		if err := wire.Decode(wire.Encode(&in), &out); err != nil {
+			return false
+		}
+		return bytes.Equal(wire.Encode(&in), wire.Encode(&out))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExecuteMsgRoundTrip covers both the full and placeholder
+// variants of the commit-channel payload.
+func TestQuickExecuteMsgRoundTrip(t *testing.T) {
+	f := func(seq uint64, full bool, client int32, counter uint64, op []byte, group int32) bool {
+		in := ExecuteMsg{Seq: ids.SeqNr(seq), Full: full}
+		if full {
+			in.Req = WrappedRequest{
+				Req:   ClientRequest{Kind: KindWrite, Client: ids.ClientID(client), Counter: counter, Op: op},
+				Group: ids.GroupID(group),
+			}
+		} else {
+			in.Client = ids.ClientID(client)
+			in.Counter = counter
+		}
+		var out ExecuteMsg
+		if err := wire.Decode(wire.Encode(&in), &out); err != nil {
+			return false
+		}
+		return bytes.Equal(wire.Encode(&in), wire.Encode(&out))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSnapshotDeterminism: snapshots are canonical — two
+// snapshots of equal state encode identically regardless of map
+// insertion order (checkpoint hashes depend on this).
+func TestQuickSnapshotDeterminism(t *testing.T) {
+	f := func(clients []int32, counters []uint64) bool {
+		a := execSnapshot{Seq: 5, Replies: map[ids.ClientID]replyCacheEntry{}, App: []byte("app")}
+		b := execSnapshot{Seq: 5, Replies: map[ids.ClientID]replyCacheEntry{}, App: []byte("app")}
+		n := len(clients)
+		if len(counters) < n {
+			n = len(counters)
+		}
+		for i := 0; i < n; i++ {
+			e := replyCacheEntry{Counter: counters[i], Result: []byte{byte(i)}}
+			a.Replies[ids.ClientID(clients[i])] = e
+		}
+		// Populate b in reverse order.
+		for i := n - 1; i >= 0; i-- {
+			e := replyCacheEntry{Counter: counters[i], Result: []byte{byte(i)}}
+			b.Replies[ids.ClientID(clients[i])] = e
+		}
+		return bytes.Equal(wire.Encode(&a), wire.Encode(&b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreementSnapshotRoundTrip(t *testing.T) {
+	in := agreementSnapshot{
+		Seq: 42,
+		T:   map[ids.ClientID]uint64{3: 9, 1: 7},
+		Hist: []histEntry{{
+			Seq: 41,
+			Req: WrappedRequest{Req: ClientRequest{Kind: KindWrite, Client: 3, Counter: 9, Op: []byte("x")}, Group: 10},
+		}},
+		Groups: []GroupEntry{{Group: ids.Group{ID: 10, Members: []ids.NodeID{11, 12, 13}, F: 1}, Region: "v"}},
+	}
+	var out agreementSnapshot
+	if err := wire.Decode(wire.Encode(&in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 42 || out.T[3] != 9 || len(out.Hist) != 1 || len(out.Groups) != 1 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if out.Groups[0].Group.ID != 10 || out.Groups[0].Region != "v" {
+		t.Fatalf("groups = %+v", out.Groups)
+	}
+}
+
+// TestLivenessUnderMessageLoss injects 20% loss on every WAN-ish link
+// between the execution group and the agreement group; retries and
+// checkpointing must still complete every write (the paper's partial
+// synchrony assumption plus reliable-channel emulation by retry).
+func TestLivenessUnderMessageLoss(t *testing.T) {
+	d := newDeployment(t, 1, testTunables(), nil, 101)
+	// 20% drops in both directions between exec and agreement nodes.
+	for _, e := range d.execGroups[0].Members {
+		for _, a := range d.agGroup.Members {
+			d.net.SetDropRate(e, a, 0.2)
+			d.net.SetDropRate(a, e, 0.2)
+		}
+	}
+	d.start()
+	client := d.client(101, d.execGroups[0])
+	client.cfg.Retry = 200 * time.Millisecond
+
+	for i := 0; i < 6; i++ {
+		if _, err := client.Write(incOp("lossy", 1)); err != nil {
+			t.Fatalf("write %d under loss: %v", i, err)
+		}
+	}
+	res, err := client.WeakRead(getOp("lossy"))
+	if err != nil {
+		t.Fatalf("weak read: %v", err)
+	}
+	if got := decodeResult(t, res); got.Counter != 6 {
+		t.Fatalf("counter = %d, want 6 (lost or duplicated execution)", got.Counter)
+	}
+}
+
+// TestStrongReadPlaceholders checks Lemma A.35's mechanics: the
+// non-designated group stores a placeholder (counter only) for a
+// strong read, and a later write from the same client still executes.
+func TestStrongReadPlaceholders(t *testing.T) {
+	d := newDeployment(t, 2, testTunables(), nil, 101)
+	d.start()
+	client := d.client(101, d.execGroups[0])
+
+	if _, err := client.Write(putOp("k", "v1")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := client.StrongRead(getOp("k")); err != nil {
+		t.Fatalf("strong read: %v", err)
+	}
+	// The write after the read must execute at BOTH groups even
+	// though group 2 only saw a placeholder for the read's counter.
+	if _, err := client.Write(putOp("k", "v2")); err != nil {
+		t.Fatalf("write after read: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, g := range d.execGroups {
+			for _, m := range g.Members {
+				res := replicaRead(d, g.ID, m, getOp("k"))
+				if !res.Found || string(res.Value) != "v2" {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("write after strong read did not reach all groups")
+}
+
+// TestClientSwitchGroup: a client whose group becomes unavailable
+// switches to another execution group and continues (Section 3.1).
+func TestClientSwitchGroup(t *testing.T) {
+	d := newDeployment(t, 2, testTunables(), nil, 101)
+	d.start()
+	client := d.client(101, d.execGroups[0])
+
+	if _, err := client.Write(putOp("k", "v")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Take the entire first group down.
+	for _, m := range d.execGroups[0].Members {
+		d.net.Isolate(m, true)
+	}
+	client.SwitchGroup(d.execGroups[1])
+	if got := client.Group().ID; got != d.execGroups[1].ID {
+		t.Fatalf("group after switch = %v", got)
+	}
+	if _, err := client.Write(putOp("k2", "v2")); err != nil {
+		t.Fatalf("write via second group: %v", err)
+	}
+	res, err := client.WeakRead(getOp("k"))
+	if err != nil {
+		t.Fatalf("weak read via second group: %v", err)
+	}
+	if got := decodeResult(t, res); !got.Found {
+		t.Fatal("state not visible via second group")
+	}
+}

@@ -1,0 +1,64 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+
+	"spider/internal/ids"
+)
+
+// insecureSuite implements Suite using HMACs for both signatures and
+// MACs. It preserves the *behaviour* of the real suite (verification
+// fails for tampered messages, wrong signers, or wrong domains) but
+// offers no Byzantine-grade security: anyone holding the master secret
+// can forge any node's signature. It exists so that protocol-logic
+// tests and latency-focused benchmarks are not dominated by RSA cost.
+type insecureSuite struct {
+	node   ids.NodeID
+	master []byte
+	macs   *macProvider
+}
+
+var _ Suite = (*insecureSuite)(nil)
+
+// NewInsecureSuite returns a fast, non-Byzantine-secure suite for tests
+// and benchmarks. All suites of a deployment must share masterSecret.
+func NewInsecureSuite(node ids.NodeID, masterSecret []byte) Suite {
+	return &insecureSuite{
+		node:   node,
+		master: append([]byte(nil), masterSecret...),
+		macs:   newMACProvider(node, masterSecret),
+	}
+}
+
+func (s *insecureSuite) Node() ids.NodeID { return s.node }
+
+func (s *insecureSuite) sigFor(signer ids.NodeID, d Domain, msg []byte) []byte {
+	mac := hmac.New(sha256.New, s.master)
+	var buf [4]byte
+	putNodeID(buf[:], signer)
+	mac.Write(buf[:])
+	mac.Write([]byte{byte(d)})
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+func (s *insecureSuite) Sign(d Domain, msg []byte) []byte {
+	return s.sigFor(s.node, d, msg)
+}
+
+func (s *insecureSuite) Verify(signer ids.NodeID, d Domain, msg, sig []byte) error {
+	if !hmac.Equal(s.sigFor(signer, d, msg), sig) {
+		return fmt.Errorf("%w: signer %v", ErrBadSignature, signer)
+	}
+	return nil
+}
+
+func (s *insecureSuite) MAC(to ids.NodeID, d Domain, msg []byte) []byte {
+	return s.macs.mac(to, d, msg)
+}
+
+func (s *insecureSuite) VerifyMAC(from ids.NodeID, d Domain, msg, mac []byte) error {
+	return s.macs.verify(from, d, msg, mac)
+}

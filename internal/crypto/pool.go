@@ -1,0 +1,88 @@
+package crypto
+
+import (
+	"crypto/rsa"
+	"sync"
+
+	"spider/internal/ids"
+)
+
+// devPool caches generated RSA keys for the lifetime of the process so
+// that tests and in-process deployments do not pay key-generation cost
+// for every cluster they assemble. The cache is the one piece of
+// process-global state in this module; it holds key material only, no
+// deployment state, and is safe for concurrent use.
+var devPool struct {
+	mu   sync.Mutex
+	keys []*rsa.PrivateKey
+}
+
+// devKeys returns n cached RSA keys of DefaultKeyBits, generating any
+// missing ones in parallel.
+func devKeys(n int) []*rsa.PrivateKey {
+	devPool.mu.Lock()
+	defer devPool.mu.Unlock()
+	missing := n - len(devPool.keys)
+	if missing > 0 {
+		fresh := make([]*rsa.PrivateKey, missing)
+		var wg sync.WaitGroup
+		for i := range fresh {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				key, err := GenerateKey(DefaultKeyBits)
+				if err != nil {
+					// Key generation only fails if the system
+					// randomness source is broken; nothing in the
+					// process can proceed in that case.
+					panic(err)
+				}
+				fresh[i] = key
+			}()
+		}
+		wg.Wait()
+		devPool.keys = append(devPool.keys, fresh...)
+	}
+	out := make([]*rsa.PrivateKey, n)
+	copy(out, devPool.keys[:n])
+	return out
+}
+
+// SuiteKind selects the authentication implementation for a deployment.
+type SuiteKind int
+
+const (
+	// SuiteRSA uses RSA-1024 signatures as in the paper's evaluation.
+	SuiteRSA SuiteKind = iota
+	// SuiteInsecure uses HMAC-based pseudo-signatures; fast, for
+	// protocol-logic tests and latency-dominated benchmarks.
+	SuiteInsecure
+)
+
+// NewSuites builds one Suite per node, all sharing a directory and
+// master secret. Nodes are assigned pooled keys in slice order, so two
+// calls with the same node list yield compatible suites within one
+// process.
+func NewSuites(nodes []ids.NodeID, kind SuiteKind) map[ids.NodeID]Suite {
+	master := []byte("spider-deployment-master-secret")
+	suites := make(map[ids.NodeID]Suite, len(nodes))
+	switch kind {
+	case SuiteInsecure:
+		for _, n := range nodes {
+			suites[n] = NewInsecureSuite(n, master)
+		}
+	case SuiteRSA:
+		keys := devKeys(len(nodes))
+		pubs := make(map[ids.NodeID]*rsa.PublicKey, len(nodes))
+		for i, n := range nodes {
+			pubs[n] = &keys[i].PublicKey
+		}
+		dir := NewDirectory(pubs)
+		for i, n := range nodes {
+			suites[n] = NewRSASuite(n, keys[i], dir, master)
+		}
+	default:
+		panic("crypto: unknown suite kind")
+	}
+	return suites
+}

@@ -1,0 +1,184 @@
+// Package deploy loads the JSON deployment descriptions used by the
+// multi-process tooling (cmd/spider-node, cmd/spider-client): group
+// membership, node addresses, and key material.
+package deploy
+
+import (
+	"crypto/rsa"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"spider/internal/core"
+	"spider/internal/crypto"
+	"spider/internal/ids"
+)
+
+// GroupSpec describes one replica group in the config file.
+type GroupSpec struct {
+	ID      int32   `json:"id"`
+	F       int     `json:"f"`
+	Members []int32 `json:"members"`
+	Region  string  `json:"region,omitempty"`
+}
+
+// Group converts the spec to the runtime type.
+func (g GroupSpec) Group() ids.Group {
+	members := make([]ids.NodeID, len(g.Members))
+	for i, m := range g.Members {
+		members[i] = ids.NodeID(m)
+	}
+	return ids.Group{ID: ids.GroupID(g.ID), Members: members, F: g.F}
+}
+
+// Config is the on-disk deployment description.
+type Config struct {
+	// Crypto selects "insecure" (shared-secret test crypto) or "rsa"
+	// (keys loaded from KeyDir, see GenerateKeys).
+	Crypto string `json:"crypto"`
+	// KeyDir holds <id>.key (private) and <id>.pub files for "rsa".
+	KeyDir string `json:"key_dir,omitempty"`
+	// Agreement is the agreement group.
+	Agreement GroupSpec `json:"agreement"`
+	// ExecGroups are the execution groups with their regions.
+	ExecGroups []GroupSpec `json:"exec_groups"`
+	// AdminClients may reconfigure the system.
+	AdminClients []int32 `json:"admin_clients,omitempty"`
+	// Addresses maps node ids to "host:port" listen/dial addresses.
+	Addresses map[string]string `json:"addresses"`
+}
+
+// Load reads and validates a config file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("deploy: parse %s: %w", path, err)
+	}
+	if len(cfg.Agreement.Members) == 0 {
+		return nil, fmt.Errorf("deploy: agreement group required")
+	}
+	if cfg.Crypto == "" {
+		cfg.Crypto = "insecure"
+	}
+	return &cfg, nil
+}
+
+// Address returns the configured address of a node.
+func (c *Config) Address(id ids.NodeID) (string, bool) {
+	addr, ok := c.Addresses[fmt.Sprint(int32(id))]
+	return addr, ok
+}
+
+// Peers builds the dial map for one node (everyone but itself).
+func (c *Config) Peers(self ids.NodeID) map[ids.NodeID]string {
+	peers := make(map[ids.NodeID]string, len(c.Addresses))
+	for key, addr := range c.Addresses {
+		var raw int32
+		if _, err := fmt.Sscan(key, &raw); err != nil {
+			continue
+		}
+		if ids.NodeID(raw) != self {
+			peers[ids.NodeID(raw)] = addr
+		}
+	}
+	return peers
+}
+
+// AllNodes lists every node id in the config (replicas and clients
+// with addresses).
+func (c *Config) AllNodes() []ids.NodeID {
+	seen := make(map[ids.NodeID]bool)
+	var out []ids.NodeID
+	add := func(id ids.NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, m := range c.Agreement.Group().Members {
+		add(m)
+	}
+	for _, g := range c.ExecGroups {
+		for _, m := range g.Group().Members {
+			add(m)
+		}
+	}
+	for key := range c.Addresses {
+		var raw int32
+		if _, err := fmt.Sscan(key, &raw); err == nil {
+			add(ids.NodeID(raw))
+		}
+	}
+	return out
+}
+
+// Entries converts the exec groups to registry entries.
+func (c *Config) Entries() []core.GroupEntry {
+	out := make([]core.GroupEntry, 0, len(c.ExecGroups))
+	for _, g := range c.ExecGroups {
+		out = append(out, core.GroupEntry{Group: g.Group(), Region: g.Region})
+	}
+	return out
+}
+
+// masterSecret is shared by all insecure-suite deployments; pairwise
+// MAC keys derive from it (development only).
+var masterSecret = []byte("spider-deployment-master-secret")
+
+// Suite builds the crypto suite for one node per the config.
+func (c *Config) Suite(self ids.NodeID) (crypto.Suite, error) {
+	switch c.Crypto {
+	case "insecure":
+		return crypto.NewInsecureSuite(self, masterSecret), nil
+	case "rsa":
+		priv, err := os.ReadFile(filepath.Join(c.KeyDir, fmt.Sprintf("%d.key", int32(self))))
+		if err != nil {
+			return nil, fmt.Errorf("deploy: private key: %w", err)
+		}
+		key, err := crypto.ParsePrivateKeyPEM(priv)
+		if err != nil {
+			return nil, err
+		}
+		pubs := make(map[ids.NodeID]*rsa.PublicKey)
+		for _, id := range c.AllNodes() {
+			data, err := os.ReadFile(filepath.Join(c.KeyDir, fmt.Sprintf("%d.pub", int32(id))))
+			if err != nil {
+				return nil, fmt.Errorf("deploy: public key of %v: %w", id, err)
+			}
+			pub, err := crypto.ParsePublicKeyPEM(data)
+			if err != nil {
+				return nil, err
+			}
+			pubs[id] = pub
+		}
+		return crypto.NewRSASuite(self, key, crypto.NewDirectory(pubs), masterSecret), nil
+	default:
+		return nil, fmt.Errorf("deploy: unknown crypto %q", c.Crypto)
+	}
+}
+
+// GenerateKeys writes an RSA key pair for every node into dir.
+func (c *Config) GenerateKeys(dir string) error {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	for _, id := range c.AllNodes() {
+		key, err := crypto.GenerateKey(crypto.DefaultKeyBits)
+		if err != nil {
+			return err
+		}
+		base := filepath.Join(dir, fmt.Sprint(int32(id)))
+		if err := os.WriteFile(base+".key", crypto.MarshalPrivateKeyPEM(key), 0o600); err != nil {
+			return fmt.Errorf("deploy: %w", err)
+		}
+		if err := os.WriteFile(base+".pub", crypto.MarshalPublicKeyPEM(&key.PublicKey), 0o644); err != nil {
+			return fmt.Errorf("deploy: %w", err)
+		}
+	}
+	return nil
+}

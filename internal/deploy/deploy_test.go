@@ -1,0 +1,140 @@
+package deploy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spider/internal/crypto"
+)
+
+const sampleConfig = `{
+  "crypto": "insecure",
+  "agreement": {"id": 1, "f": 1, "members": [1, 2, 3, 4]},
+  "exec_groups": [
+    {"id": 10, "f": 1, "members": [11, 12, 13], "region": "virginia"},
+    {"id": 20, "f": 1, "members": [21, 22, 23], "region": "tokyo"}
+  ],
+  "admin_clients": [100],
+  "addresses": {
+    "1": "127.0.0.1:7001", "2": "127.0.0.1:7002",
+    "11": "127.0.0.1:7011", "100": "127.0.0.1:7100"
+  }
+}`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "deploy.json")
+	if err := os.WriteFile(path, []byte(sampleConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoad(t *testing.T) {
+	cfg, err := Load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Agreement.Group(); got.Size() != 4 || got.F != 1 {
+		t.Errorf("agreement group = %+v", got)
+	}
+	if len(cfg.ExecGroups) != 2 {
+		t.Errorf("exec groups = %d", len(cfg.ExecGroups))
+	}
+	addr, ok := cfg.Address(11)
+	if !ok || addr != "127.0.0.1:7011" {
+		t.Errorf("address = %q %v", addr, ok)
+	}
+	peers := cfg.Peers(1)
+	if _, self := peers[1]; self {
+		t.Error("peers includes self")
+	}
+	if peers[2] != "127.0.0.1:7002" {
+		t.Errorf("peers = %v", peers)
+	}
+	if entries := cfg.Entries(); len(entries) != 2 || entries[0].Region != "virginia" {
+		t.Errorf("entries = %+v", entries)
+	}
+	// 4 agreement + 6 exec + client 100 = 11 distinct nodes.
+	if got := len(cfg.AllNodes()); got != 11 {
+		t.Errorf("AllNodes = %d", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt json accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte("{}"), 0o644)
+	if _, err := Load(empty); err == nil {
+		t.Error("config without agreement group accepted")
+	}
+}
+
+func TestInsecureSuite(t *testing.T) {
+	cfg, err := Load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := cfg.Suite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := cfg.Suite(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := s1.Sign(crypto.DomainPBFT, []byte("m"))
+	if err := s2.Verify(1, crypto.DomainPBFT, []byte("m"), sig); err != nil {
+		t.Errorf("cross-suite verify: %v", err)
+	}
+}
+
+func TestGenerateAndLoadRSAKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA key generation")
+	}
+	cfg, err := Load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := cfg.GenerateKeys(dir); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Crypto = "rsa"
+	cfg.KeyDir = dir
+	s1, err := cfg.Suite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s11, err := cfg.Suite(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := s1.Sign(crypto.DomainPBFT, []byte("m"))
+	if err := s11.Verify(1, crypto.DomainPBFT, []byte("m"), sig); err != nil {
+		t.Errorf("rsa cross verify: %v", err)
+	}
+	if err := s11.Verify(2, crypto.DomainPBFT, []byte("m"), sig); err == nil {
+		t.Error("wrong signer accepted")
+	}
+}
+
+func TestUnknownCrypto(t *testing.T) {
+	cfg, err := Load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Crypto = "quantum"
+	if _, err := cfg.Suite(1); err == nil {
+		t.Error("unknown crypto accepted")
+	}
+}

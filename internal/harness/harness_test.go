@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"spider/internal/core"
+	"spider/internal/crypto"
+	"spider/internal/topo"
+)
+
+// tinyProfile keeps harness tests fast: scaled-down latencies, short
+// runs, fast crypto.
+func tinyProfile() RunProfile {
+	return RunProfile{
+		Scale:    0.05, // 5% of real WAN latency
+		Clients:  1,
+		Rate:     20,
+		Duration: 1200 * time.Millisecond,
+		Warmup:   200 * time.Millisecond,
+		Suite:    crypto.SuiteInsecure,
+		Seed:     7,
+	}
+}
+
+func TestBuildAllSystems(t *testing.T) {
+	for _, system := range []System{SystemSpider, SystemSpider0E, SystemSpider1E, SystemBFT, SystemHFT, SystemWV} {
+		system := system
+		t.Run(string(system), func(t *testing.T) {
+			p := tinyProfile()
+			mutate := func(o *BuildOptions) {}
+			if system == SystemWV {
+				mutate = func(o *BuildOptions) {
+					o.Regions = append(append([]topo.Region{}, topo.EvalRegions...), topo.SaoPaulo)
+				}
+			}
+			cluster, err := p.build(system, mutate)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			defer cluster.Stop()
+
+			recorders, err := cluster.RunWorkload([]topo.Region{topo.Virginia, topo.Tokyo}, Workload{
+				ClientsPerRegion: 1,
+				Rate:             20,
+				Duration:         1200 * time.Millisecond,
+				Warmup:           100 * time.Millisecond,
+				Kind:             core.KindWrite,
+			})
+			if err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			for region, rec := range recorders {
+				if rec.Count() == 0 {
+					t.Errorf("%s: no samples from %s", system, region)
+				}
+			}
+		})
+	}
+}
+
+func TestLatencyOrderingSpiderVsBFT(t *testing.T) {
+	// The paper's headline result in miniature: for clients co-located
+	// with the agreement region, Spider writes complete far faster
+	// than BFT writes (no wide-area consensus).
+	p := tinyProfile()
+	p.Duration = 2 * time.Second
+
+	spider, err := runLatency(p, SystemSpider, "", core.KindWrite, nil)
+	if err != nil {
+		t.Fatalf("spider: %v", err)
+	}
+	bft, err := runLatency(p, SystemBFT, "", core.KindWrite, nil)
+	if err != nil {
+		t.Fatalf("bft: %v", err)
+	}
+	get := func(rows []LatencyRow, r topo.Region) time.Duration {
+		for _, row := range rows {
+			if row.Region == r && row.Summary.Count > 0 {
+				return row.Summary.P50
+			}
+		}
+		t.Fatalf("no samples for %s", r)
+		return 0
+	}
+	spiderV := get(spider, topo.Virginia)
+	bftV := get(bft, topo.Virginia)
+	if spiderV >= bftV {
+		t.Errorf("Spider Virginia p50 %v not below BFT %v", spiderV, bftV)
+	}
+}
+
+func TestWeakReadFastPath(t *testing.T) {
+	p := tinyProfile()
+	rows, err := runLatency(p, SystemSpider, "", core.KindWeakRead, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Summary.Count == 0 {
+			t.Fatalf("no weak reads from %s", row.Region)
+		}
+		// Weak reads stay inside the client's region: with 5% scale
+		// the paper's ~2ms becomes sub-millisecond; anything above a
+		// scaled WAN hop means the fast path failed.
+		if row.Summary.P50 > 20*time.Millisecond {
+			t.Errorf("%s weak read p50 = %v, fast path broken", row.Region, row.Summary.P50)
+		}
+	}
+}
+
+func TestAddRegionSpider(t *testing.T) {
+	p := tinyProfile()
+	cluster, err := p.build(SystemSpider, func(o *BuildOptions) {
+		o.ExtraRegions = []topo.Region{topo.SaoPaulo}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	// Traffic before and during the join, as in Figure 10.
+	h, err := cluster.StartWorkload([]topo.Region{topo.Virginia}, Workload{
+		ClientsPerRegion: 1, Rate: 20, Duration: 5 * time.Second, Kind: core.KindWrite,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := cluster.AddRegion(topo.SaoPaulo); err != nil {
+		t.Fatalf("AddRegion: %v", err)
+	}
+	// New clients in São Paulo must make progress against their local
+	// group.
+	client, err := cluster.NewClient(topo.SaoPaulo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spGroup := cluster.groupOf[topo.SaoPaulo]
+	if !spGroup.ID.Valid() || spGroup.ID == cluster.globalGroup.ID {
+		t.Fatalf("São Paulo clients not on a local group: %+v", spGroup)
+	}
+	if client.Group().ID != spGroup.ID {
+		t.Fatalf("client wired to group %v, want %v", client.Group().ID, spGroup.ID)
+	}
+	h.Stop()
+}
+
+func TestIRMCBenchSmoke(t *testing.T) {
+	for _, kind := range []string{"rc", "sc"} {
+		row, err := RunIRMCBench(IRMCBenchOptions{
+			Kind:     kind,
+			Size:     256,
+			Duration: 800 * time.Millisecond,
+			Scale:    0.02,
+			Suite:    crypto.SuiteInsecure,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if row.Throughput <= 0 {
+			t.Errorf("%s: zero throughput", kind)
+		}
+		if row.WANMBps <= 0 {
+			t.Errorf("%s: no WAN traffic measured", kind)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	rows := []LatencyRow{{System: "SPIDER", Leader: "Leader in V-1", Region: topo.Virginia}}
+	if out := RenderLatencyRows("test", rows); len(out) == 0 {
+		t.Error("empty latency render")
+	}
+	series := map[string][]TimelinePoint{"SPIDER": {{System: "SPIDER", Offset: time.Second, Mean: time.Millisecond, Count: 3}}}
+	if out := RenderTimeline("test", series); len(out) == 0 {
+		t.Error("empty timeline render")
+	}
+	irmc := []IRMCRow{{Impl: "IRMC-RC", MessageSize: 256, Throughput: 100}}
+	if out := RenderIRMCRows("test", irmc); len(out) == 0 {
+		t.Error("empty irmc render")
+	}
+}

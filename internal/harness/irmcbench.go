@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/irmc"
+	"spider/internal/irmc/rc"
+	"spider/internal/irmc/sc"
+	"spider/internal/stats"
+	"spider/internal/topo"
+	"spider/internal/transport"
+	"spider/internal/transport/memnet"
+)
+
+// IRMCRow is one measurement point of Figures 9b–9d: one channel
+// implementation at one message size.
+type IRMCRow struct {
+	Impl        string  // "IRMC-RC" or "IRMC-SC"
+	MessageSize int     // bytes
+	Throughput  float64 // delivered messages per second (per receiver)
+	SenderCPU   float64 // mean utilisation per sender endpoint
+	ReceiverCPU float64 // mean utilisation per receiver endpoint
+	WANMBps     float64 // wide-area traffic
+	LANMBps     float64 // intra-region traffic
+}
+
+// IRMCBenchOptions parameterizes the channel microbenchmark: a single
+// channel between Virginia (senders) and Tokyo (receivers), saturated
+// with messages of a given size (the setup of Section 5, "IRMC
+// Implementations").
+type IRMCBenchOptions struct {
+	Kind     string // "rc" or "sc"
+	Size     int
+	Duration time.Duration
+	Scale    float64
+	Suite    crypto.SuiteKind
+	Capacity int
+}
+
+// RunIRMCBench saturates one channel and reports throughput, CPU and
+// traffic (Figures 9b–9d).
+func RunIRMCBench(opts IRMCBenchOptions) (IRMCRow, error) {
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 512
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	senders := ids.Group{ID: 1, Members: []ids.NodeID{1, 2, 3}, F: 1}
+	receivers := ids.Group{ID: 2, Members: []ids.NodeID{11, 12, 13}, F: 1}
+	all := append(append([]ids.NodeID{}, senders.Members...), receivers.Members...)
+	suites := crypto.NewSuites(all, opts.Suite)
+
+	placement := topo.NewPlacement(opts.Scale)
+	for i, n := range senders.Members {
+		placement.Place(n, topo.Site{Region: topo.Virginia, Zone: i})
+	}
+	for i, n := range receivers.Members {
+		placement.Place(n, topo.Site{Region: topo.Tokyo, Zone: i})
+	}
+	net := memnet.New(memnet.Options{Placement: placement})
+	defer net.Close()
+	stream := transport.MakeStream(transport.KindBench, 9)
+
+	var senderMeter, receiverMeter stats.CPUMeter
+	mkConfig := func(id ids.NodeID, meter *stats.CPUMeter) irmc.Config {
+		return irmc.Config{
+			Senders:            senders,
+			Receivers:          receivers,
+			Capacity:           opts.Capacity,
+			Suite:              suites[id],
+			Node:               net.Node(id),
+			Stream:             stream,
+			Meter:              meter,
+			ProgressIntervalMS: 100,
+			CollectorTimeoutMS: 2000,
+		}
+	}
+
+	var sendEps []irmc.Sender
+	var recvEps []irmc.Receiver
+	for _, id := range senders.Members {
+		var (
+			s   irmc.Sender
+			err error
+		)
+		if opts.Kind == "sc" {
+			s, err = sc.NewSender(mkConfig(id, &senderMeter))
+		} else {
+			s, err = rc.NewSender(mkConfig(id, &senderMeter))
+		}
+		if err != nil {
+			return IRMCRow{}, err
+		}
+		sendEps = append(sendEps, s)
+	}
+	for _, id := range receivers.Members {
+		var (
+			r   irmc.Receiver
+			err error
+		)
+		if opts.Kind == "sc" {
+			r, err = sc.NewReceiver(mkConfig(id, &receiverMeter))
+		} else {
+			r, err = rc.NewReceiver(mkConfig(id, &receiverMeter))
+		}
+		if err != nil {
+			return IRMCRow{}, err
+		}
+		recvEps = append(recvEps, r)
+	}
+	defer func() {
+		for _, s := range sendEps {
+			s.Close()
+		}
+		for _, r := range recvEps {
+			r.Close()
+		}
+	}()
+
+	payload := make([]byte, opts.Size)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	var wg sync.WaitGroup
+
+	// Senders pump the same position sequence; flow control paces them.
+	for _, s := range sendEps {
+		wg.Add(1)
+		go func(s irmc.Sender) {
+			defer wg.Done()
+			for p := ids.Position(1); time.Now().Before(deadline); p++ {
+				if err := s.Send(0, p, payload); err != nil {
+					if _, ok := irmc.AsTooOld(err); ok {
+						continue
+					}
+					return
+				}
+			}
+		}(s)
+	}
+
+	// Receivers drain in order, moving the window every half capacity.
+	var delivered stats.Counter
+	for ri, r := range recvEps {
+		wg.Add(1)
+		go func(idx int, r irmc.Receiver) {
+			defer wg.Done()
+			step := ids.Position(opts.Capacity / 2)
+			for p := ids.Position(1); ; p++ {
+				if _, err := r.Receive(0, p); err != nil {
+					if tooOld, ok := irmc.AsTooOld(err); ok {
+						p = tooOld.NewStart - 1
+						continue
+					}
+					return
+				}
+				if idx == 0 {
+					delivered.Add(1)
+				}
+				if p%step == 0 {
+					r.MoveWindow(0, p+1)
+				}
+			}
+		}(ri, r)
+	}
+
+	// Let the run finish, then close endpoints to unblock receivers.
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	for _, s := range sendEps {
+		s.Close()
+	}
+	for _, r := range recvEps {
+		r.Close()
+	}
+	wg.Wait()
+
+	s := net.Stats()
+	secs := elapsed.Seconds()
+	impl := "IRMC-RC"
+	if opts.Kind == "sc" {
+		impl = "IRMC-SC"
+	}
+	return IRMCRow{
+		Impl:        impl,
+		MessageSize: opts.Size,
+		Throughput:  float64(delivered.Load()) / secs,
+		SenderCPU:   senderMeter.Utilization(elapsed) / float64(len(sendEps)),
+		ReceiverCPU: receiverMeter.Utilization(elapsed) / float64(len(recvEps)),
+		WANMBps:     float64(s.BytesWAN()) / secs / (1 << 20),
+		LANMBps:     float64(s.BytesLAN()) / secs / (1 << 20),
+	}, nil
+}
+
+// Figure9BCD sweeps both implementations over the paper's message
+// sizes.
+func Figure9BCD(p RunProfile, sizes []int) ([]IRMCRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{256, 1024, 4096, 16384}
+	}
+	var rows []IRMCRow
+	for _, kind := range []string{"rc", "sc"} {
+		for _, size := range sizes {
+			row, err := RunIRMCBench(IRMCBenchOptions{
+				Kind:     kind,
+				Size:     size,
+				Duration: p.Duration,
+				Scale:    p.Scale,
+				Suite:    p.Suite,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderIRMCRows formats the channel microbenchmark results.
+func RenderIRMCRows(title string, rows []IRMCRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "%-8s %8s %12s %10s %10s %10s %10s\n",
+		"impl", "size[B]", "msg/s", "sndCPU", "rcvCPU", "WAN[MB/s]", "LAN[MB/s]")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %8d %12.0f %9.1f%% %9.1f%% %10.2f %10.2f\n",
+			r.Impl, r.MessageSize, r.Throughput,
+			100*r.SenderCPU, 100*r.ReceiverCPU, r.WANMBps, r.LANMBps)
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+// Package irmc defines the inter-regional message channel (IRMC), the
+// abstraction at the heart of Spider's modular architecture
+// (Section 3.2 of the paper). An IRMC forwards messages from a group
+// of sender replicas in one region to a group of receiver replicas in
+// another. It is divided into independent subchannels with
+// first-in-first-out semantics, bounded capacity, and window-based
+// flow control; a message is only delivered once at least fs+1 senders
+// submitted identical content for the same subchannel position, so a
+// Byzantine minority cannot inject traffic.
+//
+// Two implementations exist: rc (receiver-side collection, Figure 18)
+// and sc (sender-side collection with collectors, Figures 19–20).
+// Both satisfy the conformance suite in irmctest, which encodes the
+// IRMC-Correctness and IRMC-Liveness properties of Appendix A.5.
+package irmc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/stats"
+	"spider/internal/transport"
+)
+
+// ErrClosed is returned by blocked operations when the endpoint shuts
+// down.
+var ErrClosed = errors.New("irmc: endpoint closed")
+
+// TooOldError reports that the flow-control window has moved past the
+// requested position. NewStart is the window's new lower bound; the
+// caller reacts by skipping forward (agreement replicas) or fetching a
+// checkpoint (execution replicas), per Section 3.4.
+type TooOldError struct {
+	NewStart ids.Position
+}
+
+func (e *TooOldError) Error() string {
+	return fmt.Sprintf("irmc: position too old, window starts at %d", e.NewStart)
+}
+
+// AsTooOld extracts a TooOldError from err, if present.
+func AsTooOld(err error) (*TooOldError, bool) {
+	var tooOld *TooOldError
+	if errors.As(err, &tooOld) {
+		return tooOld, true
+	}
+	return nil, false
+}
+
+// Sender is the sender-side endpoint interface (Figure 14).
+type Sender interface {
+	// Send submits msg for subchannel sc at position p. It blocks
+	// while p lies beyond the window's upper bound, returns a
+	// *TooOldError immediately if the window has moved past p, and
+	// returns ErrClosed after Close.
+	Send(sc ids.Subchannel, p ids.Position, msg []byte) error
+	// MoveWindow asks the receiver side to advance the subchannel
+	// window so that it starts at p. Positions only move forward;
+	// calls with lower positions are ignored.
+	MoveWindow(sc ids.Subchannel, p ids.Position)
+	// Close releases the endpoint and unblocks pending calls.
+	Close()
+}
+
+// Receiver is the receiver-side endpoint interface (Figure 14).
+type Receiver interface {
+	// Receive blocks until the message for subchannel sc at position
+	// p is deliverable (fs+1 identical submissions), the window has
+	// moved past p (*TooOldError), or the endpoint closes (ErrClosed).
+	Receive(sc ids.Subchannel, p ids.Position) ([]byte, error)
+	// MoveWindow advances the local subchannel window so that it
+	// starts at p, permitting garbage collection of older positions
+	// and notifying the sender side.
+	MoveWindow(sc ids.Subchannel, p ids.Position)
+	// Close releases the endpoint and unblocks pending calls.
+	Close()
+}
+
+// Config parameterizes one endpoint of a channel. The same values
+// (identity aside) must be used by all endpoints of the channel.
+type Config struct {
+	// Senders is the sending replica group; its F is fs.
+	Senders ids.Group
+	// Receivers is the receiving replica group; its F is fr.
+	Receivers ids.Group
+	// Capacity bounds how many messages each subchannel holds
+	// (window size). Must be at least 1.
+	Capacity int
+	// Suite authenticates this endpoint's traffic.
+	Suite crypto.Suite
+	// Node is this endpoint's transport handle.
+	Node transport.Node
+	// Stream carries all traffic of this channel.
+	Stream transport.Stream
+	// Meter, when set, accumulates the processing time this endpoint
+	// spends handling messages and crypto (used for Figure 9c).
+	Meter *stats.CPUMeter
+	// ProgressIntervalMS is the IRMC-SC progress announcement period
+	// in milliseconds (0 = default).
+	ProgressIntervalMS int
+	// CollectorTimeoutMS is how long an IRMC-SC receiver waits for a
+	// missing certificate before switching collectors (0 = default).
+	CollectorTimeoutMS int
+	// OnNewSubchannel, when set on a receiver endpoint, is invoked
+	// (outside endpoint locks) the first time traffic arrives for a
+	// subchannel. Spider's agreement replicas use it to discover
+	// per-client request subchannels and spawn receive loops.
+	OnNewSubchannel func(sc ids.Subchannel)
+}
+
+// Validate checks structural requirements shared by implementations.
+func (c *Config) Validate() error {
+	if c.Capacity < 1 {
+		return errors.New("irmc: capacity must be at least 1")
+	}
+	if len(c.Senders.Members) == 0 || len(c.Receivers.Members) == 0 {
+		return errors.New("irmc: sender and receiver groups required")
+	}
+	if c.Suite == nil || c.Node == nil {
+		return errors.New("irmc: suite and node required")
+	}
+	return nil
+}
+
+// IsSender reports whether this endpoint's identity belongs to the
+// sender group.
+func (c *Config) IsSender() bool { return c.Senders.Contains(c.Suite.Node()) }
+
+// Track starts CPU accounting for one processing section; the returned
+// function stops it. Safe with a nil receiver configuration.
+func (c *Config) Track() func() {
+	if c.Meter == nil {
+		return func() {}
+	}
+	return c.Meter.Track()
+}
+
+// Window is one subchannel's flow-control window: positions
+// [Start, Start+Capacity-1] are admissible.
+type Window struct {
+	Start    ids.Position
+	Capacity int
+}
+
+// NewWindow returns a window anchored at position 1, matching the
+// paper's initialization.
+func NewWindow(capacity int) Window {
+	return Window{Start: 1, Capacity: capacity}
+}
+
+// Max returns the inclusive upper bound.
+func (w Window) Max() ids.Position {
+	return w.Start + ids.Position(w.Capacity) - 1
+}
+
+// Contains reports whether p is inside the window.
+func (w Window) Contains(p ids.Position) bool {
+	return p >= w.Start && p <= w.Max()
+}
+
+// Advance moves the window start forward to p; it never moves
+// backwards. It reports whether the window changed.
+func (w *Window) Advance(p ids.Position) bool {
+	if p <= w.Start {
+		return false
+	}
+	w.Start = p
+	return true
+}
+
+// KHighest returns the k-th highest position in values (k >= 1).
+// Missing peers count as position 1 (the initial window start). It is
+// the primitive behind the fr+1-highest / fs+1-highest window rules:
+// taking the (f+1)-th highest request guarantees at least one correct
+// replica endorsed moving that far.
+func KHighest(values map[ids.NodeID]ids.Position, members []ids.NodeID, k int) ids.Position {
+	if k < 1 || k > len(members) {
+		return 1
+	}
+	all := make([]ids.Position, 0, len(members))
+	for _, m := range members {
+		v, ok := values[m]
+		if !ok {
+			v = 1
+		}
+		all = append(all, v)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+	return all[k-1]
+}

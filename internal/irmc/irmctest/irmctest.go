@@ -1,0 +1,347 @@
+// Package irmctest provides a conformance suite that both IRMC
+// implementations (rc and sc) must pass. The tests encode the channel
+// properties from Appendix A.5 of the paper: delivery requires fs+1
+// identical submissions (IRMC-Correctness I), window moves require a
+// correct endorser (IRMC-Correctness II), and the liveness properties
+// that unblock senders and receivers.
+package irmctest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/irmc"
+	"spider/internal/transport/memnet"
+)
+
+// Channel bundles the endpoints of one channel under test.
+type Channel struct {
+	Senders   []irmc.Sender
+	Receivers []irmc.Receiver
+	Net       *memnet.Network
+	SenderG   ids.Group
+	ReceiverG ids.Group
+}
+
+// Close shuts down all endpoints and the network.
+func (c *Channel) Close() {
+	for _, s := range c.Senders {
+		s.Close()
+	}
+	for _, r := range c.Receivers {
+		r.Close()
+	}
+	c.Net.Close()
+}
+
+// Factory builds a channel with the given per-subchannel capacity over
+// a fresh memnet. Implementations provide one for the suite.
+type Factory func(t *testing.T, capacity int) *Channel
+
+// Groups returns the canonical test groups: 3 senders tolerating one
+// fault (2fe+1 with fe=1, like a request channel's execution group)
+// and 4 receivers tolerating one fault.
+func Groups() (senders, receivers ids.Group) {
+	senders = ids.Group{ID: 1, Members: []ids.NodeID{1, 2, 3}, F: 1}
+	receivers = ids.Group{ID: 2, Members: []ids.NodeID{11, 12, 13, 14}, F: 1}
+	return senders, receivers
+}
+
+// Suites builds crypto suites for all test nodes.
+func Suites() map[ids.NodeID]crypto.Suite {
+	s, r := Groups()
+	all := append(append([]ids.NodeID{}, s.Members...), r.Members...)
+	return crypto.NewSuites(all, crypto.SuiteInsecure)
+}
+
+// receiveResult carries the outcome of an asynchronous Receive.
+type receiveResult struct {
+	msg []byte
+	err error
+}
+
+func receiveAsync(r irmc.Receiver, sc ids.Subchannel, p ids.Position) <-chan receiveResult {
+	ch := make(chan receiveResult, 1)
+	go func() {
+		msg, err := r.Receive(sc, p)
+		ch <- receiveResult{msg: msg, err: err}
+	}()
+	return ch
+}
+
+func waitMsg(t *testing.T, ch <-chan receiveResult, want []byte, timeout time.Duration) {
+	t.Helper()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			t.Fatalf("Receive failed: %v", res.err)
+		}
+		if !bytes.Equal(res.msg, want) {
+			t.Fatalf("Receive = %q, want %q", res.msg, want)
+		}
+	case <-time.After(timeout):
+		t.Fatal("Receive did not complete")
+	}
+}
+
+// Run executes the conformance suite against the factory.
+func Run(t *testing.T, factory Factory) {
+	t.Run("DeliveryRequiresQuorum", func(t *testing.T) { testDeliveryRequiresQuorum(t, factory) })
+	t.Run("MinorityCannotInject", func(t *testing.T) { testMinorityCannotInject(t, factory) })
+	t.Run("ConflictingContent", func(t *testing.T) { testConflictingContent(t, factory) })
+	t.Run("AllReceiversDeliver", func(t *testing.T) { testAllReceiversDeliver(t, factory) })
+	t.Run("SubchannelsIndependent", func(t *testing.T) { testSubchannelsIndependent(t, factory) })
+	t.Run("SendBlocksBeyondWindow", func(t *testing.T) { testSendBlocksBeyondWindow(t, factory) })
+	t.Run("SendTooOld", func(t *testing.T) { testSendTooOld(t, factory) })
+	t.Run("ReceiveTooOldAfterMove", func(t *testing.T) { testReceiveTooOldAfterMove(t, factory) })
+	t.Run("SenderDrivenMove", func(t *testing.T) { testSenderDrivenMove(t, factory) })
+	t.Run("SingleReceiverCannotMoveSenderWindow", func(t *testing.T) { testSingleReceiverCannotMove(t, factory) })
+	t.Run("CloseUnblocks", func(t *testing.T) { testCloseUnblocks(t, factory) })
+}
+
+// sendQuorum submits msg at (sc, p) from fs+1 senders.
+func sendQuorum(t *testing.T, c *Channel, sc ids.Subchannel, p ids.Position, msg []byte) {
+	t.Helper()
+	for _, s := range c.Senders[:c.SenderG.F+1] {
+		if err := s.Send(sc, p, msg); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+}
+
+func testDeliveryRequiresQuorum(t *testing.T, factory Factory) {
+	c := factory(t, 8)
+	defer c.Close()
+
+	want := []byte("hello wide area")
+	ch := receiveAsync(c.Receivers[0], 0, 1)
+	sendQuorum(t, c, 0, 1, want)
+	waitMsg(t, ch, want, 5*time.Second)
+}
+
+func testMinorityCannotInject(t *testing.T, factory Factory) {
+	c := factory(t, 8)
+	defer c.Close()
+
+	// Only fs senders (the maximum Byzantine minority) submit.
+	for _, s := range c.Senders[:c.SenderG.F] {
+		if err := s.Send(0, 1, []byte("forged")); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	ch := receiveAsync(c.Receivers[0], 0, 1)
+	select {
+	case res := <-ch:
+		t.Fatalf("minority submission delivered: %q err=%v", res.msg, res.err)
+	case <-time.After(300 * time.Millisecond):
+		// Correct: the channel refuses to deliver.
+	}
+}
+
+func testConflictingContent(t *testing.T, factory Factory) {
+	c := factory(t, 8)
+	defer c.Close()
+
+	// One (faulty) sender submits conflicting content; the correct
+	// majority agrees on `good`, which must be the delivered value.
+	if err := c.Senders[0].Send(0, 1, []byte("evil")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	good := []byte("good")
+	for _, s := range c.Senders[1:] {
+		if err := s.Send(0, 1, good); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	ch := receiveAsync(c.Receivers[0], 0, 1)
+	waitMsg(t, ch, good, 5*time.Second)
+}
+
+func testAllReceiversDeliver(t *testing.T, factory Factory) {
+	c := factory(t, 8)
+	defer c.Close()
+
+	want := []byte("to everyone")
+	chans := make([]<-chan receiveResult, len(c.Receivers))
+	for i, r := range c.Receivers {
+		chans[i] = receiveAsync(r, 0, 1)
+	}
+	sendQuorum(t, c, 0, 1, want)
+	for _, ch := range chans {
+		waitMsg(t, ch, want, 5*time.Second)
+	}
+}
+
+func testSubchannelsIndependent(t *testing.T, factory Factory) {
+	c := factory(t, 4)
+	defer c.Close()
+
+	// Fill subchannel 7's window completely; subchannel 9 must be
+	// unaffected.
+	for p := ids.Position(1); p <= 4; p++ {
+		sendQuorum(t, c, 7, p, []byte{byte(p)})
+	}
+	want := []byte("other lane")
+	ch := receiveAsync(c.Receivers[0], 9, 1)
+	sendQuorum(t, c, 9, 1, want)
+	waitMsg(t, ch, want, 5*time.Second)
+
+	// And subchannel 7's messages are all retrievable.
+	for p := ids.Position(1); p <= 4; p++ {
+		msg, err := c.Receivers[0].Receive(7, p)
+		if err != nil || !bytes.Equal(msg, []byte{byte(p)}) {
+			t.Fatalf("subchannel 7 pos %d: %q err=%v", p, msg, err)
+		}
+	}
+}
+
+func testSendBlocksBeyondWindow(t *testing.T, factory Factory) {
+	c := factory(t, 2) // window spans positions 1..2
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Senders[0].Send(0, 3, []byte("beyond"))
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("Send beyond window returned early: %v", err)
+	case <-time.After(200 * time.Millisecond):
+		// Correct: blocked (IRMC-Liveness II gating).
+	}
+
+	// fr+1 receivers move the window; the send must now complete.
+	for _, r := range c.Receivers[:c.ReceiverG.F+1] {
+		r.MoveWindow(0, 2)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Send after window move: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked after fr+1 receivers moved the window")
+	}
+}
+
+func testSendTooOld(t *testing.T, factory Factory) {
+	c := factory(t, 2)
+	defer c.Close()
+
+	for _, r := range c.Receivers {
+		r.MoveWindow(0, 5)
+	}
+	// Wait until the sender window reflects the move.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		err := c.Senders[0].Send(0, 2, []byte("stale"))
+		if tooOld, ok := irmc.AsTooOld(err); ok {
+			if tooOld.NewStart != 5 {
+				t.Fatalf("TooOld.NewStart = %d, want 5", tooOld.NewStart)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("Send never reported TooOld")
+}
+
+func testReceiveTooOldAfterMove(t *testing.T, factory Factory) {
+	c := factory(t, 4)
+	defer c.Close()
+
+	ch := receiveAsync(c.Receivers[0], 0, 1)
+	// The receiver itself moves its window forward (e.g. after an
+	// execution checkpoint): the pending Receive must abort.
+	c.Receivers[0].MoveWindow(0, 3)
+	select {
+	case res := <-ch:
+		tooOld, ok := irmc.AsTooOld(res.err)
+		if !ok {
+			t.Fatalf("Receive returned %q err=%v, want TooOld", res.msg, res.err)
+		}
+		if tooOld.NewStart != 3 {
+			t.Fatalf("TooOld.NewStart = %d, want 3", tooOld.NewStart)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Receive still blocked after window move")
+	}
+}
+
+func testSenderDrivenMove(t *testing.T, factory Factory) {
+	c := factory(t, 4)
+	defer c.Close()
+
+	// fs+1 senders request the window to start at 6 (as execution
+	// replicas do when a client submits a newer request).
+	ch := receiveAsync(c.Receivers[0], 0, 2)
+	for _, s := range c.Senders[:c.SenderG.F+1] {
+		s.MoveWindow(0, 6)
+	}
+	select {
+	case res := <-ch:
+		tooOld, ok := irmc.AsTooOld(res.err)
+		if !ok {
+			t.Fatalf("Receive returned %q err=%v, want TooOld", res.msg, res.err)
+		}
+		if tooOld.NewStart < 6 {
+			t.Fatalf("TooOld.NewStart = %d, want >= 6", tooOld.NewStart)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender-driven move did not propagate (IRMC-Liveness III)")
+	}
+}
+
+func testSingleReceiverCannotMove(t *testing.T, factory Factory) {
+	c := factory(t, 2)
+	defer c.Close()
+
+	// Only one receiver (≤ fr, potentially Byzantine) requests a
+	// move; the sender window must not advance.
+	c.Receivers[0].MoveWindow(0, 10)
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Senders[0].Send(0, 5, []byte("gated"))
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("single receiver moved the sender window: %v", err)
+	case <-time.After(300 * time.Millisecond):
+		// Correct: fr+1 endorsements required (IRMC-Correctness II).
+	}
+}
+
+func testCloseUnblocks(t *testing.T, factory Factory) {
+	c := factory(t, 2)
+	defer c.Close()
+
+	recvCh := receiveAsync(c.Receivers[0], 0, 1)
+	sendCh := make(chan error, 1)
+	go func() {
+		sendCh <- c.Senders[0].Send(0, 99, []byte("blocked"))
+	}()
+	time.Sleep(50 * time.Millisecond)
+	c.Receivers[0].Close()
+	c.Senders[0].Close()
+
+	select {
+	case res := <-recvCh:
+		if !errors.Is(res.err, irmc.ErrClosed) {
+			t.Fatalf("Receive after close: %q err=%v", res.msg, res.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Receive not unblocked by Close")
+	}
+	select {
+	case err := <-sendCh:
+		if !errors.Is(err, irmc.ErrClosed) {
+			t.Fatalf("Send after close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send not unblocked by Close")
+	}
+}

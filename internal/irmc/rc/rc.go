@@ -1,0 +1,399 @@
+// Package rc implements the IRMC with receiver-side collection
+// (Figure 18 of the paper): every sender forwards its signed Send
+// message to every receiver, and each receiver independently collects
+// fs+1 matching submissions before delivering. This maximizes
+// throughput at the cost of wide-area bandwidth, the trade-off
+// Figure 9 quantifies against IRMC-SC.
+package rc
+
+import (
+	"sync"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/irmc"
+	"spider/internal/wire"
+)
+
+// Sender is the IRMC-RC sender endpoint.
+type Sender struct {
+	cfg irmc.Config
+	reg *wire.Registry
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	subs   map[ids.Subchannel]*senderSub
+}
+
+type senderSub struct {
+	win      irmc.Window
+	recvWins map[ids.NodeID]ids.Position // window starts announced by receivers
+	ownMove  ids.Position                // highest window move we requested
+}
+
+var _ irmc.Sender = (*Sender)(nil)
+
+// NewSender creates the sender endpoint and registers its transport
+// handler.
+func NewSender(cfg irmc.Config) (*Sender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		cfg:  cfg,
+		reg:  irmc.NewRegistry(),
+		subs: make(map[ids.Subchannel]*senderSub),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	cfg.Node.Handle(cfg.Stream, s.onFrame)
+	return s, nil
+}
+
+func (s *Sender) sub(sc ids.Subchannel) *senderSub {
+	sub, ok := s.subs[sc]
+	if !ok {
+		sub = &senderSub{
+			win:      irmc.NewWindow(s.cfg.Capacity),
+			recvWins: make(map[ids.NodeID]ids.Position),
+		}
+		s.subs[sc] = sub
+	}
+	return sub
+}
+
+// Send implements irmc.Sender: it blocks while the position is beyond
+// the window, then fans the signed message out to every receiver.
+func (s *Sender) Send(sc ids.Subchannel, p ids.Position, msg []byte) error {
+	s.mu.Lock()
+	sub := s.sub(sc)
+	for !s.closed && p > sub.win.Max() {
+		s.cond.Wait()
+		sub = s.sub(sc)
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return irmc.ErrClosed
+	}
+	if p < sub.win.Start {
+		start := sub.win.Start
+		s.mu.Unlock()
+		return &irmc.TooOldError{NewStart: start}
+	}
+	s.mu.Unlock()
+
+	stop := s.cfg.Track()
+	frame := s.reg.EncodeFrame(irmc.TagSend, &irmc.SendMsg{Subchannel: sc, Position: p, Payload: msg})
+	// The signature is recipient independent: seal once, send the
+	// same bytes to every receiver.
+	env, err := irmc.Seal(s.cfg.Suite, irmc.TagSend, frame, ids.NoNode)
+	stop()
+	if err != nil {
+		return err
+	}
+	s.cfg.Node.Multicast(s.cfg.Receivers.Members, s.cfg.Stream, env)
+	return nil
+}
+
+// MoveWindow implements irmc.Sender: it asks the receivers to advance
+// the subchannel window to start at p.
+func (s *Sender) MoveWindow(sc ids.Subchannel, p ids.Position) {
+	s.mu.Lock()
+	sub := s.sub(sc)
+	if p <= sub.ownMove || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	sub.ownMove = p
+	s.mu.Unlock()
+
+	stop := s.cfg.Track()
+	frame := s.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
+	envs := make(map[ids.NodeID][]byte, len(s.cfg.Receivers.Members))
+	for _, r := range s.cfg.Receivers.Members {
+		env, err := irmc.Seal(s.cfg.Suite, irmc.TagMove, frame, r)
+		if err == nil {
+			envs[r] = env
+		}
+	}
+	stop()
+	for r, env := range envs {
+		s.cfg.Node.Send(r, s.cfg.Stream, env)
+	}
+}
+
+// Close implements irmc.Sender.
+func (s *Sender) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// onFrame handles inbound Move messages from receivers.
+func (s *Sender) onFrame(from ids.NodeID, payload []byte) {
+	stop := s.cfg.Track()
+	defer stop()
+	if !s.cfg.Receivers.Contains(from) {
+		return
+	}
+	tag, msg, err := irmc.Open(s.cfg.Suite, s.reg, from, payload)
+	if err != nil || tag != irmc.TagMove {
+		return
+	}
+	move := msg.(*irmc.MoveMsg)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	sub := s.sub(move.Subchannel)
+	if move.Position <= sub.recvWins[from] {
+		return // window announcements only move forward
+	}
+	sub.recvWins[from] = move.Position
+	// The sender trusts the (fr+1)-highest announced start: at least
+	// one correct receiver endorsed moving that far.
+	newStart := irmc.KHighest(sub.recvWins, s.cfg.Receivers.Members, s.cfg.Receivers.F+1)
+	if sub.win.Advance(newStart) {
+		s.cond.Broadcast()
+	}
+}
+
+// Receiver is the IRMC-RC receiver endpoint.
+type Receiver struct {
+	cfg irmc.Config
+	reg *wire.Registry
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	subs   map[ids.Subchannel]*recvSub
+}
+
+type recvSub struct {
+	win         irmc.Window
+	senderMoves map[ids.NodeID]ids.Position
+	slots       map[ids.Position]*slot
+}
+
+// slot collects per-position submissions until fs+1 senders agree.
+type slot struct {
+	votes    map[ids.NodeID]crypto.Digest
+	payloads map[crypto.Digest][]byte
+	resolved []byte
+}
+
+var _ irmc.Receiver = (*Receiver)(nil)
+
+// NewReceiver creates the receiver endpoint and registers its
+// transport handler.
+func NewReceiver(cfg irmc.Config) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Receiver{
+		cfg:  cfg,
+		reg:  irmc.NewRegistry(),
+		subs: make(map[ids.Subchannel]*recvSub),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	cfg.Node.Handle(cfg.Stream, r.onFrame)
+	return r, nil
+}
+
+func (r *Receiver) sub(sc ids.Subchannel) *recvSub {
+	sub, _ := r.subCreated(sc)
+	return sub
+}
+
+// subCreated returns the subchannel state and whether this call
+// created it.
+func (r *Receiver) subCreated(sc ids.Subchannel) (*recvSub, bool) {
+	sub, ok := r.subs[sc]
+	if !ok {
+		sub = &recvSub{
+			win:         irmc.NewWindow(r.cfg.Capacity),
+			senderMoves: make(map[ids.NodeID]ids.Position),
+			slots:       make(map[ids.Position]*slot),
+		}
+		r.subs[sc] = sub
+	}
+	return sub, !ok
+}
+
+// Receive implements irmc.Receiver.
+func (r *Receiver) Receive(sc ids.Subchannel, p ids.Position) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, irmc.ErrClosed
+		}
+		sub := r.sub(sc)
+		if p < sub.win.Start {
+			return nil, &irmc.TooOldError{NewStart: sub.win.Start}
+		}
+		if p <= sub.win.Max() {
+			if sl, ok := sub.slots[p]; ok && sl.resolved != nil {
+				return sl.resolved, nil
+			}
+		}
+		r.cond.Wait()
+	}
+}
+
+// MoveWindow implements irmc.Receiver: advance the local window,
+// garbage collect, and notify the senders.
+func (r *Receiver) MoveWindow(sc ids.Subchannel, p ids.Position) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if !r.moveLocked(sc, p) {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	r.notifySenders(sc, p)
+}
+
+// moveLocked advances the window and prunes state; reports whether the
+// window moved.
+func (r *Receiver) moveLocked(sc ids.Subchannel, p ids.Position) bool {
+	sub := r.sub(sc)
+	if !sub.win.Advance(p) {
+		return false
+	}
+	for pos := range sub.slots {
+		if pos < sub.win.Start {
+			delete(sub.slots, pos)
+		}
+	}
+	r.cond.Broadcast()
+	return true
+}
+
+func (r *Receiver) notifySenders(sc ids.Subchannel, p ids.Position) {
+	stop := r.cfg.Track()
+	frame := r.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
+	envs := make(map[ids.NodeID][]byte, len(r.cfg.Senders.Members))
+	for _, s := range r.cfg.Senders.Members {
+		env, err := irmc.Seal(r.cfg.Suite, irmc.TagMove, frame, s)
+		if err == nil {
+			envs[s] = env
+		}
+	}
+	stop()
+	for s, env := range envs {
+		r.cfg.Node.Send(s, r.cfg.Stream, env)
+	}
+}
+
+// Close implements irmc.Receiver.
+func (r *Receiver) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (r *Receiver) onFrame(from ids.NodeID, payload []byte) {
+	stop := r.cfg.Track()
+	defer stop()
+	if !r.cfg.Senders.Contains(from) {
+		return
+	}
+	tag, msg, err := irmc.Open(r.cfg.Suite, r.reg, from, payload)
+	if err != nil {
+		return
+	}
+	switch tag {
+	case irmc.TagSend:
+		r.onSend(from, msg.(*irmc.SendMsg))
+	case irmc.TagMove:
+		r.onSenderMove(from, msg.(*irmc.MoveMsg))
+	}
+}
+
+func (r *Receiver) onSend(from ids.NodeID, m *irmc.SendMsg) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	sub, created := r.subCreated(m.Subchannel)
+	if created {
+		r.notifyNewSub(m.Subchannel)
+	}
+	if !sub.win.Contains(m.Position) {
+		r.mu.Unlock()
+		return // outside the window: stale or flooding
+	}
+	defer r.mu.Unlock()
+	sl, ok := sub.slots[m.Position]
+	if !ok {
+		sl = &slot{
+			votes:    make(map[ids.NodeID]crypto.Digest),
+			payloads: make(map[crypto.Digest][]byte),
+		}
+		sub.slots[m.Position] = sl
+	}
+	if sl.resolved != nil {
+		return
+	}
+	if _, dup := sl.votes[from]; dup {
+		return // one submission per sender per position
+	}
+	digest := crypto.Hash(m.Payload)
+	sl.votes[from] = digest
+	if _, ok := sl.payloads[digest]; !ok {
+		sl.payloads[digest] = m.Payload
+	}
+	matching := 0
+	for _, d := range sl.votes {
+		if d == digest {
+			matching++
+		}
+	}
+	// fs+1 identical submissions prove at least one correct sender
+	// vouches for the content (IRMC-Correctness I).
+	if matching >= r.cfg.Senders.F+1 {
+		sl.resolved = sl.payloads[digest]
+		r.cond.Broadcast()
+	}
+}
+
+// onSenderMove applies the fs+1-highest rule to sender-initiated
+// window moves (Figure 18, receiver side).
+// notifyNewSub schedules the new-subchannel callback; it runs on its
+// own goroutine so endpoint locks are never held while user code runs.
+func (r *Receiver) notifyNewSub(sc ids.Subchannel) {
+	if cb := r.cfg.OnNewSubchannel; cb != nil {
+		go cb(sc)
+	}
+}
+
+func (r *Receiver) onSenderMove(from ids.NodeID, m *irmc.MoveMsg) {
+	r.mu.Lock()
+	sub, created := r.subCreated(m.Subchannel)
+	if created {
+		r.notifyNewSub(m.Subchannel)
+	}
+	if m.Position <= sub.senderMoves[from] {
+		r.mu.Unlock()
+		return
+	}
+	sub.senderMoves[from] = m.Position
+	target := irmc.KHighest(sub.senderMoves, r.cfg.Senders.Members, r.cfg.Senders.F+1)
+	moved := false
+	if target > sub.win.Start {
+		moved = r.moveLocked(m.Subchannel, target)
+	}
+	r.mu.Unlock()
+	if moved {
+		r.notifySenders(m.Subchannel, target)
+	}
+}

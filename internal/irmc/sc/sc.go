@@ -1,0 +1,764 @@
+// Package sc implements the IRMC with sender-side collection
+// (Figures 19–20 of the paper): senders exchange signed hashes of
+// their submissions among themselves; a collector assembles fs+1
+// matching share signatures into a certificate and forwards one
+// wide-area message per receiver. Periodic progress announcements let
+// receivers detect a collector that withholds certificates and switch
+// to another sender. Compared with IRMC-RC this trades sender-side
+// CPU for a large reduction in wide-area traffic (Figure 9d).
+package sc
+
+import (
+	"sync"
+	"time"
+
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/irmc"
+	"spider/internal/wire"
+)
+
+const (
+	defaultProgressInterval = 100 * time.Millisecond
+	defaultCollectorTimeout = 500 * time.Millisecond
+)
+
+// Sender is the IRMC-SC sender endpoint.
+type Sender struct {
+	cfg irmc.Config
+	reg *wire.Registry
+	me  ids.NodeID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	subs   map[ids.Subchannel]*senderSub
+	// collector selection per receiver (global across subchannels is
+	// not enough: the paper selects per subchannel).
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type senderSub struct {
+	win      irmc.Window
+	recvWins map[ids.NodeID]ids.Position
+	ownMove  ids.Position
+
+	data   map[ids.Position][]byte                                  // own submissions
+	shares map[ids.Position]map[crypto.Digest]map[ids.NodeID][]byte // validated share sigs
+	certs  map[ids.Position]*irmc.CertificateMsg
+
+	collectors map[ids.NodeID]collectorChoice // per receiver
+}
+
+type collectorChoice struct {
+	node  ids.NodeID
+	epoch uint64
+}
+
+var _ irmc.Sender = (*Sender)(nil)
+
+// NewSender creates the sender endpoint, registers its transport
+// handler, and starts the progress announcer.
+func NewSender(cfg irmc.Config) (*Sender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		cfg:  cfg,
+		reg:  irmc.NewRegistry(),
+		me:   cfg.Suite.Node(),
+		subs: make(map[ids.Subchannel]*senderSub),
+		done: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	cfg.Node.Handle(cfg.Stream, s.onFrame)
+	s.wg.Add(1)
+	go s.progressLoop()
+	return s, nil
+}
+
+func (s *Sender) progressInterval() time.Duration {
+	if s.cfg.ProgressIntervalMS > 0 {
+		return time.Duration(s.cfg.ProgressIntervalMS) * time.Millisecond
+	}
+	return defaultProgressInterval
+}
+
+func (s *Sender) sub(sc ids.Subchannel) *senderSub {
+	sub, ok := s.subs[sc]
+	if !ok {
+		sub = &senderSub{
+			win:        irmc.NewWindow(s.cfg.Capacity),
+			recvWins:   make(map[ids.NodeID]ids.Position),
+			data:       make(map[ids.Position][]byte),
+			shares:     make(map[ids.Position]map[crypto.Digest]map[ids.NodeID][]byte),
+			certs:      make(map[ids.Position]*irmc.CertificateMsg),
+			collectors: make(map[ids.NodeID]collectorChoice),
+		}
+		s.subs[sc] = sub
+	}
+	return sub
+}
+
+// defaultCollector is the initial collector every party assumes before
+// any Select message: the first member of the sender group.
+func (s *Sender) defaultCollector() ids.NodeID { return s.cfg.Senders.Members[0] }
+
+// collectorFor returns the collector currently selected by receiver rr
+// on this subchannel.
+func (sub *senderSub) collectorFor(rr ids.NodeID, def ids.NodeID) ids.NodeID {
+	if c, ok := sub.collectors[rr]; ok {
+		return c.node
+	}
+	return def
+}
+
+// Send implements irmc.Sender: store the payload locally and announce
+// a signed hash to the sender group.
+func (s *Sender) Send(sc ids.Subchannel, p ids.Position, msg []byte) error {
+	s.mu.Lock()
+	sub := s.sub(sc)
+	for !s.closed && p > sub.win.Max() {
+		s.cond.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return irmc.ErrClosed
+	}
+	if p < sub.win.Start {
+		start := sub.win.Start
+		s.mu.Unlock()
+		return &irmc.TooOldError{NewStart: start}
+	}
+	if _, dup := sub.data[p]; dup {
+		s.mu.Unlock()
+		return nil // idempotent: already submitted
+	}
+	stop := s.cfg.Track()
+	sub.data[p] = msg
+	digest := crypto.Hash(msg)
+	shareSig := s.cfg.Suite.Sign(crypto.DomainIRMCShare, irmc.SharePayload(sc, p, digest))
+	s.mu.Unlock()
+
+	frame := s.reg.EncodeFrame(irmc.TagSigShare, &irmc.SigShareMsg{
+		Subchannel: sc, Position: p, Digest: digest, Sig: shareSig,
+	})
+	envs := make(map[ids.NodeID][]byte, len(s.cfg.Senders.Members))
+	for _, peer := range s.cfg.Senders.Members {
+		if env, err := irmc.Seal(s.cfg.Suite, irmc.TagSigShare, frame, peer); err == nil {
+			envs[peer] = env
+		}
+	}
+	stop()
+	for peer, env := range envs {
+		s.cfg.Node.Send(peer, s.cfg.Stream, env)
+	}
+	return nil
+}
+
+// MoveWindow implements irmc.Sender.
+func (s *Sender) MoveWindow(sc ids.Subchannel, p ids.Position) {
+	s.mu.Lock()
+	sub := s.sub(sc)
+	if p <= sub.ownMove || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	sub.ownMove = p
+	s.mu.Unlock()
+
+	stop := s.cfg.Track()
+	frame := s.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
+	envs := make(map[ids.NodeID][]byte, len(s.cfg.Receivers.Members))
+	for _, r := range s.cfg.Receivers.Members {
+		if env, err := irmc.Seal(s.cfg.Suite, irmc.TagMove, frame, r); err == nil {
+			envs[r] = env
+		}
+	}
+	stop()
+	for r, env := range envs {
+		s.cfg.Node.Send(r, s.cfg.Stream, env)
+	}
+}
+
+// Close implements irmc.Sender.
+func (s *Sender) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.done)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Sender) onFrame(from ids.NodeID, payload []byte) {
+	stop := s.cfg.Track()
+	defer stop()
+	fromSender := s.cfg.Senders.Contains(from)
+	fromReceiver := s.cfg.Receivers.Contains(from)
+	if !fromSender && !fromReceiver {
+		return
+	}
+	tag, msg, err := irmc.Open(s.cfg.Suite, s.reg, from, payload)
+	if err != nil {
+		return
+	}
+	switch {
+	case tag == irmc.TagSigShare && fromSender:
+		s.onShare(from, msg.(*irmc.SigShareMsg))
+	case tag == irmc.TagMove && fromReceiver:
+		s.onReceiverMove(from, msg.(*irmc.MoveMsg))
+	case tag == irmc.TagSelect && fromReceiver:
+		s.onSelect(from, msg.(*irmc.SelectMsg))
+	}
+}
+
+func (s *Sender) onShare(from ids.NodeID, m *irmc.SigShareMsg) {
+	// Validate the transferable share signature before storing it;
+	// only valid shares may end up inside certificates.
+	if err := s.cfg.Suite.Verify(from, crypto.DomainIRMCShare,
+		irmc.SharePayload(m.Subchannel, m.Position, m.Digest), m.Sig); err != nil {
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	sub := s.sub(m.Subchannel)
+	if !sub.win.Contains(m.Position) {
+		s.mu.Unlock()
+		return
+	}
+	byDigest, ok := sub.shares[m.Position]
+	if !ok {
+		byDigest = make(map[crypto.Digest]map[ids.NodeID][]byte)
+		sub.shares[m.Position] = byDigest
+	}
+	byNode, ok := byDigest[m.Digest]
+	if !ok {
+		byNode = make(map[ids.NodeID][]byte)
+		byDigest[m.Digest] = byNode
+	}
+	if _, dup := byNode[from]; dup {
+		s.mu.Unlock()
+		return
+	}
+	byNode[from] = m.Sig
+
+	// Assemble a certificate once fs+1 shares match our own payload.
+	payload, havePayload := sub.data[m.Position]
+	if !havePayload || sub.certs[m.Position] != nil ||
+		m.Digest != crypto.Hash(payload) || len(byNode) < s.cfg.Senders.F+1 {
+		s.mu.Unlock()
+		return
+	}
+	cert := &irmc.CertificateMsg{
+		Subchannel: m.Subchannel,
+		Position:   m.Position,
+		Payload:    payload,
+	}
+	for node, sig := range byNode {
+		cert.Shares = append(cert.Shares, irmc.ShareSig{Node: node, Sig: sig})
+		if len(cert.Shares) == s.cfg.Senders.F+1 {
+			break
+		}
+	}
+	sub.certs[m.Position] = cert
+	// Forward to the receivers that currently use us as collector.
+	targets := make([]ids.NodeID, 0, len(s.cfg.Receivers.Members))
+	for _, rr := range s.cfg.Receivers.Members {
+		if sub.collectorFor(rr, s.defaultCollector()) == s.me {
+			targets = append(targets, rr)
+		}
+	}
+	s.mu.Unlock()
+	s.sendCert(cert, targets)
+}
+
+func (s *Sender) sendCert(cert *irmc.CertificateMsg, targets []ids.NodeID) {
+	if len(targets) == 0 {
+		return
+	}
+	stop := s.cfg.Track()
+	frame := s.reg.EncodeFrame(irmc.TagCertificate, cert)
+	envs := make(map[ids.NodeID][]byte, len(targets))
+	for _, rr := range targets {
+		if env, err := irmc.Seal(s.cfg.Suite, irmc.TagCertificate, frame, rr); err == nil {
+			envs[rr] = env
+		}
+	}
+	stop()
+	for rr, env := range envs {
+		s.cfg.Node.Send(rr, s.cfg.Stream, env)
+	}
+}
+
+func (s *Sender) onReceiverMove(from ids.NodeID, m *irmc.MoveMsg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	sub := s.sub(m.Subchannel)
+	if m.Position <= sub.recvWins[from] {
+		return
+	}
+	sub.recvWins[from] = m.Position
+	newStart := irmc.KHighest(sub.recvWins, s.cfg.Receivers.Members, s.cfg.Receivers.F+1)
+	if !sub.win.Advance(newStart) {
+		return
+	}
+	for pos := range sub.data {
+		if pos < sub.win.Start {
+			delete(sub.data, pos)
+		}
+	}
+	for pos := range sub.shares {
+		if pos < sub.win.Start {
+			delete(sub.shares, pos)
+		}
+	}
+	for pos := range sub.certs {
+		if pos < sub.win.Start {
+			delete(sub.certs, pos)
+		}
+	}
+	s.cond.Broadcast()
+}
+
+func (s *Sender) onSelect(from ids.NodeID, m *irmc.SelectMsg) {
+	s.mu.Lock()
+	sub := s.sub(m.Subchannel)
+	cur := sub.collectors[from]
+	if m.Epoch <= cur.epoch && !(cur == collectorChoice{}) {
+		s.mu.Unlock()
+		return
+	}
+	if !s.cfg.Senders.Contains(m.Collector) {
+		s.mu.Unlock()
+		return
+	}
+	sub.collectors[from] = collectorChoice{node: m.Collector, epoch: m.Epoch}
+	var resend []*irmc.CertificateMsg
+	if m.Collector == s.me {
+		// We are the new collector: replay every certificate we hold
+		// so the receiver can fill its gaps.
+		resend = make([]*irmc.CertificateMsg, 0, len(sub.certs))
+		for _, cert := range sub.certs {
+			resend = append(resend, cert)
+		}
+	}
+	s.mu.Unlock()
+	for _, cert := range resend {
+		s.sendCert(cert, []ids.NodeID{from})
+	}
+}
+
+// progressLoop periodically announces, per subchannel, the highest
+// position through which this sender holds gap-free certificates.
+func (s *Sender) progressLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.progressInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.announceProgress()
+		}
+	}
+}
+
+func (s *Sender) announceProgress() {
+	stop := s.cfg.Track()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		stop()
+		return
+	}
+	msg := &irmc.ProgressMsg{}
+	for sc, sub := range s.subs {
+		p := sub.win.Start - 1
+		for sub.certs[p+1] != nil {
+			p++
+		}
+		if p >= sub.win.Start {
+			msg.Subchannels = append(msg.Subchannels, sc)
+			msg.Positions = append(msg.Positions, p)
+		}
+	}
+	s.mu.Unlock()
+	if len(msg.Subchannels) == 0 {
+		stop()
+		return
+	}
+	frame := s.reg.EncodeFrame(irmc.TagProgress, msg)
+	envs := make(map[ids.NodeID][]byte, len(s.cfg.Receivers.Members))
+	for _, rr := range s.cfg.Receivers.Members {
+		if env, err := irmc.Seal(s.cfg.Suite, irmc.TagProgress, frame, rr); err == nil {
+			envs[rr] = env
+		}
+	}
+	stop()
+	for rr, env := range envs {
+		s.cfg.Node.Send(rr, s.cfg.Stream, env)
+	}
+}
+
+// Receiver is the IRMC-SC receiver endpoint.
+type Receiver struct {
+	cfg irmc.Config
+	reg *wire.Registry
+	me  ids.NodeID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	subs   map[ids.Subchannel]*recvSub
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+type recvSub struct {
+	win         irmc.Window
+	senderMoves map[ids.NodeID]ids.Position
+	delivered   map[ids.Position][]byte
+
+	progress map[ids.NodeID]ids.Position // per-sender progress claims
+	merged   ids.Position                // fs+1-highest claimed progress
+
+	collector     ids.NodeID
+	epoch         uint64
+	timerDeadline time.Time // zero when no certificate is overdue
+}
+
+var _ irmc.Receiver = (*Receiver)(nil)
+
+// NewReceiver creates the receiver endpoint, registers its transport
+// handler, and starts the collector watchdog.
+func NewReceiver(cfg irmc.Config) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Receiver{
+		cfg:  cfg,
+		reg:  irmc.NewRegistry(),
+		me:   cfg.Suite.Node(),
+		subs: make(map[ids.Subchannel]*recvSub),
+		done: make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	cfg.Node.Handle(cfg.Stream, r.onFrame)
+	r.wg.Add(1)
+	go r.watchdogLoop()
+	return r, nil
+}
+
+func (r *Receiver) collectorTimeout() time.Duration {
+	if r.cfg.CollectorTimeoutMS > 0 {
+		return time.Duration(r.cfg.CollectorTimeoutMS) * time.Millisecond
+	}
+	return defaultCollectorTimeout
+}
+
+func (r *Receiver) sub(sc ids.Subchannel) *recvSub {
+	sub, _ := r.subCreated(sc)
+	return sub
+}
+
+// subCreated returns the subchannel state and whether this call
+// created it.
+func (r *Receiver) subCreated(sc ids.Subchannel) (*recvSub, bool) {
+	sub, ok := r.subs[sc]
+	if !ok {
+		sub = &recvSub{
+			win:         irmc.NewWindow(r.cfg.Capacity),
+			senderMoves: make(map[ids.NodeID]ids.Position),
+			delivered:   make(map[ids.Position][]byte),
+			progress:    make(map[ids.NodeID]ids.Position),
+			collector:   r.cfg.Senders.Members[0],
+		}
+		r.subs[sc] = sub
+	}
+	return sub, !ok
+}
+
+// notifyNewSub schedules the new-subchannel callback; it runs on its
+// own goroutine so endpoint locks are never held while user code runs.
+func (r *Receiver) notifyNewSub(sc ids.Subchannel) {
+	if cb := r.cfg.OnNewSubchannel; cb != nil {
+		go cb(sc)
+	}
+}
+
+// Receive implements irmc.Receiver.
+func (r *Receiver) Receive(sc ids.Subchannel, p ids.Position) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.closed {
+			return nil, irmc.ErrClosed
+		}
+		sub := r.sub(sc)
+		if p < sub.win.Start {
+			return nil, &irmc.TooOldError{NewStart: sub.win.Start}
+		}
+		if p <= sub.win.Max() {
+			if msg, ok := sub.delivered[p]; ok {
+				return msg, nil
+			}
+		}
+		r.cond.Wait()
+	}
+}
+
+// MoveWindow implements irmc.Receiver.
+func (r *Receiver) MoveWindow(sc ids.Subchannel, p ids.Position) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if !r.moveLocked(sc, p) {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	r.notifySenders(sc, p)
+}
+
+func (r *Receiver) moveLocked(sc ids.Subchannel, p ids.Position) bool {
+	sub := r.sub(sc)
+	if !sub.win.Advance(p) {
+		return false
+	}
+	for pos := range sub.delivered {
+		if pos < sub.win.Start {
+			delete(sub.delivered, pos)
+		}
+	}
+	r.cond.Broadcast()
+	return true
+}
+
+func (r *Receiver) notifySenders(sc ids.Subchannel, p ids.Position) {
+	stop := r.cfg.Track()
+	frame := r.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
+	envs := make(map[ids.NodeID][]byte, len(r.cfg.Senders.Members))
+	for _, sender := range r.cfg.Senders.Members {
+		if env, err := irmc.Seal(r.cfg.Suite, irmc.TagMove, frame, sender); err == nil {
+			envs[sender] = env
+		}
+	}
+	stop()
+	for sender, env := range envs {
+		r.cfg.Node.Send(sender, r.cfg.Stream, env)
+	}
+}
+
+// Close implements irmc.Receiver.
+func (r *Receiver) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.done)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Receiver) onFrame(from ids.NodeID, payload []byte) {
+	stop := r.cfg.Track()
+	defer stop()
+	if !r.cfg.Senders.Contains(from) {
+		return
+	}
+	tag, msg, err := irmc.Open(r.cfg.Suite, r.reg, from, payload)
+	if err != nil {
+		return
+	}
+	switch tag {
+	case irmc.TagCertificate:
+		r.onCertificate(msg.(*irmc.CertificateMsg))
+	case irmc.TagProgress:
+		r.onProgress(from, msg.(*irmc.ProgressMsg))
+	case irmc.TagMove:
+		r.onSenderMove(from, msg.(*irmc.MoveMsg))
+	}
+}
+
+func (r *Receiver) onCertificate(m *irmc.CertificateMsg) {
+	// Verify outside the lock: fs+1 share signatures from distinct
+	// sender-group members over this exact payload.
+	digest := crypto.Hash(m.Payload)
+	sharePayload := irmc.SharePayload(m.Subchannel, m.Position, digest)
+	voters := make(map[ids.NodeID]bool, len(m.Shares))
+	for _, sh := range m.Shares {
+		if voters[sh.Node] || !r.cfg.Senders.Contains(sh.Node) {
+			continue
+		}
+		if err := r.cfg.Suite.Verify(sh.Node, crypto.DomainIRMCShare, sharePayload, sh.Sig); err != nil {
+			continue
+		}
+		voters[sh.Node] = true
+	}
+	if len(voters) < r.cfg.Senders.F+1 {
+		return
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	sub, created := r.subCreated(m.Subchannel)
+	if created {
+		r.notifyNewSub(m.Subchannel)
+	}
+	if !sub.win.Contains(m.Position) {
+		return
+	}
+	if _, dup := sub.delivered[m.Position]; dup {
+		return
+	}
+	sub.delivered[m.Position] = m.Payload
+	r.cond.Broadcast()
+}
+
+func (r *Receiver) onProgress(from ids.NodeID, m *irmc.ProgressMsg) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	now := time.Now()
+	for i, sc := range m.Subchannels {
+		sub, created := r.subCreated(sc)
+		if created {
+			r.notifyNewSub(sc)
+		}
+		if m.Positions[i] > sub.progress[from] {
+			sub.progress[from] = m.Positions[i]
+		}
+		sub.merged = irmc.KHighest(sub.progress, r.cfg.Senders.Members, r.cfg.Senders.F+1)
+		if r.missingBeforeLocked(sub) {
+			if sub.timerDeadline.IsZero() {
+				sub.timerDeadline = now.Add(r.collectorTimeout())
+			}
+		} else {
+			sub.timerDeadline = time.Time{}
+		}
+	}
+}
+
+// missingBeforeLocked reports whether a certificate is missing between
+// the window start and the merged progress claim.
+func (r *Receiver) missingBeforeLocked(sub *recvSub) bool {
+	for p := sub.win.Start; p <= sub.merged && p <= sub.win.Max(); p++ {
+		if _, ok := sub.delivered[p]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Receiver) onSenderMove(from ids.NodeID, m *irmc.MoveMsg) {
+	r.mu.Lock()
+	sub, created := r.subCreated(m.Subchannel)
+	if created {
+		r.notifyNewSub(m.Subchannel)
+	}
+	if m.Position <= sub.senderMoves[from] {
+		r.mu.Unlock()
+		return
+	}
+	sub.senderMoves[from] = m.Position
+	target := irmc.KHighest(sub.senderMoves, r.cfg.Senders.Members, r.cfg.Senders.F+1)
+	moved := false
+	if target > sub.win.Start {
+		moved = r.moveLocked(m.Subchannel, target)
+	}
+	r.mu.Unlock()
+	if moved {
+		r.notifySenders(m.Subchannel, target)
+	}
+}
+
+// watchdogLoop switches collectors when certificates are overdue: if
+// fs+1 senders claim progress past a position this receiver has not
+// obtained, the current collector is withholding certificates.
+func (r *Receiver) watchdogLoop() {
+	defer r.wg.Done()
+	interval := r.collectorTimeout() / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-ticker.C:
+			r.checkCollectors()
+		}
+	}
+}
+
+func (r *Receiver) checkCollectors() {
+	type switchReq struct {
+		sc  ids.Subchannel
+		msg *irmc.SelectMsg
+	}
+	var switches []switchReq
+
+	r.mu.Lock()
+	now := time.Now()
+	for sc, sub := range r.subs {
+		if sub.timerDeadline.IsZero() || now.Before(sub.timerDeadline) {
+			continue
+		}
+		if !r.missingBeforeLocked(sub) {
+			sub.timerDeadline = time.Time{}
+			continue
+		}
+		// Rotate to the next sender after the current collector.
+		idx := r.cfg.Senders.IndexOf(sub.collector)
+		next := r.cfg.Senders.Members[(idx+1)%len(r.cfg.Senders.Members)]
+		sub.collector = next
+		sub.epoch++
+		sub.timerDeadline = now.Add(r.collectorTimeout())
+		switches = append(switches, switchReq{
+			sc:  sc,
+			msg: &irmc.SelectMsg{Subchannel: sc, Collector: next, Epoch: sub.epoch},
+		})
+	}
+	r.mu.Unlock()
+
+	for _, sw := range switches {
+		stop := r.cfg.Track()
+		frame := r.reg.EncodeFrame(irmc.TagSelect, sw.msg)
+		envs := make(map[ids.NodeID][]byte, len(r.cfg.Senders.Members))
+		for _, sender := range r.cfg.Senders.Members {
+			if env, err := irmc.Seal(r.cfg.Suite, irmc.TagSelect, frame, sender); err == nil {
+				envs[sender] = env
+			}
+		}
+		stop()
+		for sender, env := range envs {
+			r.cfg.Node.Send(sender, r.cfg.Stream, env)
+		}
+	}
+}

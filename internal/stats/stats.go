@@ -1,0 +1,247 @@
+// Package stats provides the measurement utilities the evaluation
+// harness uses: latency recorders with exact percentiles (Figures 7, 8
+// and 11 report 50th/90th percentiles), time-series bucketing
+// (Figure 10 plots response time over time), counters, and a CPU meter
+// approximating per-component utilisation (Figure 9c).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder collects latency samples. It is safe for concurrent use by
+// many client goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []sample
+}
+
+type sample struct {
+	at  time.Time
+	dur time.Duration
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record stores one latency observed now.
+func (r *Recorder) Record(d time.Duration) { r.RecordAt(time.Now(), d) }
+
+// RecordAt stores one latency observed at the given time.
+func (r *Recorder) RecordAt(at time.Time, d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, sample{at: at, dur: d})
+	r.mu.Unlock()
+}
+
+// Sample is one recorded observation.
+type Sample struct {
+	At  time.Time
+	Dur time.Duration
+}
+
+// Samples returns a copy of all recorded samples in insertion order.
+func (r *Recorder) Samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, len(r.samples))
+	for i, s := range r.samples {
+		out[i] = Sample{At: s.at, Dur: s.dur}
+	}
+	return out
+}
+
+// Merge copies all samples from src into r.
+func (r *Recorder) Merge(src *Recorder) {
+	for _, s := range src.Samples() {
+		r.RecordAt(s.At, s.Dur)
+	}
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = nil
+	r.mu.Unlock()
+}
+
+// Snapshot returns the sorted latency values.
+func (r *Recorder) Snapshot() []time.Duration {
+	r.mu.Lock()
+	out := make([]time.Duration, len(r.samples))
+	for i, s := range r.samples {
+		out[i] = s.dur
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank on the sorted samples. It returns 0 for an empty
+// recorder.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	sorted := r.Snapshot()
+	return percentileOf(sorted, p)
+}
+
+func percentileOf(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Summary bundles the standard percentile set reported by the paper.
+type Summary struct {
+	Count int
+	P50   time.Duration
+	P90   time.Duration
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes a Summary over all samples.
+func (r *Recorder) Summarize() Summary {
+	sorted := r.Snapshot()
+	if len(sorted) == 0 {
+		return Summary{}
+	}
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return Summary{
+		Count: len(sorted),
+		P50:   percentileOf(sorted, 50),
+		P90:   percentileOf(sorted, 90),
+		Mean:  total / time.Duration(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// String renders the summary in a compact, table-friendly form.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d p50=%s p90=%s mean=%s",
+		s.Count, fmtMS(s.P50), fmtMS(s.P90), fmtMS(s.Mean))
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}
+
+// Bucket is one time-series window.
+type Bucket struct {
+	Start time.Time
+	Count int
+	Mean  time.Duration
+}
+
+// TimeSeries groups samples into fixed-width buckets beginning at
+// start, returning one bucket per window up to the latest sample.
+// Empty windows yield buckets with Count 0.
+func (r *Recorder) TimeSeries(start time.Time, width time.Duration) []Bucket {
+	r.mu.Lock()
+	samples := append([]sample(nil), r.samples...)
+	r.mu.Unlock()
+	if width <= 0 || len(samples) == 0 {
+		return nil
+	}
+
+	var maxIdx int
+	sums := make(map[int]time.Duration)
+	counts := make(map[int]int)
+	for _, s := range samples {
+		if s.at.Before(start) {
+			continue
+		}
+		idx := int(s.at.Sub(start) / width)
+		sums[idx] += s.dur
+		counts[idx]++
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	out := make([]Bucket, maxIdx+1)
+	for i := range out {
+		out[i] = Bucket{Start: start.Add(time.Duration(i) * width), Count: counts[i]}
+		if counts[i] > 0 {
+			out[i].Mean = sums[i] / time.Duration(counts[i])
+		}
+	}
+	return out
+}
+
+// Counter is a concurrent event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// CPUMeter accumulates wall-clock time spent inside instrumented code
+// sections. Dividing the accumulated busy time by the experiment
+// duration approximates the CPU utilisation a dedicated machine would
+// report for that component, which is how the reproduction derives
+// Figure 9c on a single host.
+type CPUMeter struct {
+	busy atomic.Int64
+}
+
+// Track returns a function that, when called, charges the elapsed time
+// since Track to the meter. Use as: defer meter.Track()().
+func (m *CPUMeter) Track() func() {
+	start := time.Now()
+	return func() { m.busy.Add(int64(time.Since(start))) }
+}
+
+// Add charges d to the meter directly.
+func (m *CPUMeter) Add(d time.Duration) { m.busy.Add(int64(d)) }
+
+// Busy returns the accumulated busy time.
+func (m *CPUMeter) Busy() time.Duration { return time.Duration(m.busy.Load()) }
+
+// Utilization returns busy time as a fraction of wall time (may exceed
+// 1.0 when multiple goroutines are instrumented).
+func (m *CPUMeter) Utilization(wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(m.Busy()) / float64(wall)
+}
+
+// Reset zeroes the meter.
+func (m *CPUMeter) Reset() { m.busy.Store(0) }

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPercentiles(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := r.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := r.Percentile(90); got != 90*time.Millisecond {
+		t.Errorf("p90 = %v", got)
+	}
+	if got := r.Percentile(0); got != 1*time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := r.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	r := NewRecorder()
+	if got := r.Percentile(50); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+	if s := r.Summarize(); s.Count != 0 || s.P50 != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		r.Record(d * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 4 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Mean != 25*time.Millisecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 40*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Count(); got != 800 {
+		t.Errorf("count = %d", got)
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	r := NewRecorder()
+	start := time.Now()
+	r.RecordAt(start.Add(100*time.Millisecond), 10*time.Millisecond)
+	r.RecordAt(start.Add(200*time.Millisecond), 30*time.Millisecond)
+	r.RecordAt(start.Add(1500*time.Millisecond), 50*time.Millisecond)
+	r.RecordAt(start.Add(-1*time.Second), time.Hour) // before start: ignored
+
+	buckets := r.TimeSeries(start, time.Second)
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if buckets[0].Count != 2 || buckets[0].Mean != 20*time.Millisecond {
+		t.Errorf("bucket 0 = %+v", buckets[0])
+	}
+	if buckets[1].Count != 1 || buckets[1].Mean != 50*time.Millisecond {
+		t.Errorf("bucket 1 = %+v", buckets[1])
+	}
+	if got := buckets[1].Start.Sub(start); got != time.Second {
+		t.Errorf("bucket 1 start offset = %v", got)
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	r := NewRecorder()
+	if buckets := r.TimeSeries(time.Now(), time.Second); buckets != nil {
+		t.Errorf("empty series = %v", buckets)
+	}
+	r.Record(time.Millisecond)
+	if buckets := r.TimeSeries(time.Now().Add(-time.Minute), 0); buckets != nil {
+		t.Errorf("zero width series = %v", buckets)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-2)
+	if got := c.Load(); got != 3 {
+		t.Errorf("counter = %d", got)
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestCPUMeter(t *testing.T) {
+	var m CPUMeter
+	stop := m.Track()
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	if m.Busy() < 15*time.Millisecond {
+		t.Errorf("busy = %v", m.Busy())
+	}
+	u := m.Utilization(100 * time.Millisecond)
+	if u < 0.15 || u > 1.5 {
+		t.Errorf("utilization = %v", u)
+	}
+	if got := m.Utilization(0); got != 0 {
+		t.Errorf("zero wall utilization = %v", got)
+	}
+	m.Reset()
+	if m.Busy() != 0 {
+		t.Error("reset failed")
+	}
+	m.Add(time.Second)
+	if m.Busy() != time.Second {
+		t.Error("Add failed")
+	}
+}

@@ -1,0 +1,115 @@
+package topo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTTSymmetricAndComplete(t *testing.T) {
+	all := []Region{Virginia, Oregon, Ireland, Tokyo, SaoPaulo, Ohio, California, London, Seoul}
+	for i, a := range all {
+		for _, b := range all[i+1:] {
+			ab, err := RTT(a, b)
+			if err != nil {
+				t.Fatalf("RTT(%s,%s): %v", a, b, err)
+			}
+			ba, err := RTT(b, a)
+			if err != nil {
+				t.Fatalf("RTT(%s,%s): %v", b, a, err)
+			}
+			if ab != ba {
+				t.Errorf("RTT asymmetric: %s-%s %v vs %v", a, b, ab, ba)
+			}
+			if ab <= 0 {
+				t.Errorf("RTT(%s,%s) non-positive: %v", a, b, ab)
+			}
+		}
+	}
+}
+
+func TestRTTUnknownRegion(t *testing.T) {
+	if _, err := RTT(Virginia, Region("mars")); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+func TestRTTSameRegion(t *testing.T) {
+	d, err := RTT(Virginia, Virginia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 5*time.Millisecond {
+		t.Errorf("intra-region RTT too large: %v", d)
+	}
+}
+
+func TestPlacementOneWay(t *testing.T) {
+	p := NewPlacement(1.0)
+	p.Place(1, Site{Region: Virginia, Zone: 0})
+	p.Place(2, Site{Region: Virginia, Zone: 1})
+	p.Place(3, Site{Region: Virginia, Zone: 0})
+	p.Place(4, Site{Region: Tokyo, Zone: 0})
+
+	interZone := p.OneWay(1, 2)
+	sameZone := p.OneWay(1, 3)
+	wan := p.OneWay(1, 4)
+	if !(sameZone < interZone && interZone < wan) {
+		t.Errorf("latency ordering violated: same=%v inter=%v wan=%v", sameZone, interZone, wan)
+	}
+	wantWAN := 81 * time.Millisecond // half of 162ms RTT
+	if wan != wantWAN {
+		t.Errorf("wan one-way = %v, want %v", wan, wantWAN)
+	}
+}
+
+func TestPlacementScale(t *testing.T) {
+	full := NewPlacement(1.0)
+	tenth := NewPlacement(0.1)
+	for _, p := range []*Placement{full, tenth} {
+		p.Place(1, Site{Region: Virginia})
+		p.Place(2, Site{Region: Tokyo})
+	}
+	if got, want := tenth.OneWay(1, 2), full.OneWay(1, 2)/10; got != want {
+		t.Errorf("scaled latency = %v, want %v", got, want)
+	}
+}
+
+func TestPlacementUnplacedFallback(t *testing.T) {
+	p := NewPlacement(1.0)
+	p.Place(1, Site{Region: Virginia})
+	if d := p.OneWay(1, 99); d <= 0 || d > 5*time.Millisecond {
+		t.Errorf("unplaced fallback latency = %v", d)
+	}
+	if p.SameRegion(1, 99) {
+		t.Error("unplaced node reported same region")
+	}
+}
+
+func TestSameRegion(t *testing.T) {
+	p := NewPlacement(1.0)
+	p.Place(1, Site{Region: Virginia, Zone: 0})
+	p.Place(2, Site{Region: Virginia, Zone: 2})
+	p.Place(3, Site{Region: Ireland, Zone: 0})
+	if !p.SameRegion(1, 2) {
+		t.Error("same-region pair misclassified")
+	}
+	if p.SameRegion(1, 3) {
+		t.Error("cross-region pair misclassified")
+	}
+}
+
+func TestPlacementZeroScale(t *testing.T) {
+	p := NewPlacement(0) // invalid scale falls back to 1.0
+	p.Place(1, Site{Region: Virginia})
+	p.Place(2, Site{Region: Tokyo})
+	if got := p.OneWay(1, 2); got != 81*time.Millisecond {
+		t.Errorf("zero-scale latency = %v", got)
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	s := Site{Region: Oregon, Zone: 2}
+	if got := s.String(); got != "oregon/2" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,425 @@
+// Package memnet implements transport.Network in-process with emulated
+// wide-area latency. Every directed node pair is a FIFO link whose
+// delivery delay comes from a topo.Placement (half the RTT between the
+// nodes' sites, plus optional jitter), so an entire geo-distributed
+// deployment runs inside one test or benchmark while observing the
+// same message interleavings a real WAN imposes.
+//
+// The emulator also provides the measurement and fault-injection hooks
+// the evaluation needs: per-class byte accounting (local/LAN/WAN, used
+// for Figure 9d), link cuts, node isolation, and probabilistic drops.
+package memnet
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spider/internal/ids"
+	"spider/internal/topo"
+	"spider/internal/transport"
+)
+
+// LinkClass classifies a directed link for traffic accounting.
+type LinkClass int
+
+// Link classes, from cheapest to most expensive.
+const (
+	ClassLocal LinkClass = iota // same node (self-delivery)
+	ClassLAN                    // same region
+	ClassWAN                    // cross region
+	numClasses
+)
+
+// String returns the class name.
+func (c LinkClass) String() string {
+	switch c {
+	case ClassLocal:
+		return "local"
+	case ClassLAN:
+		return "lan"
+	case ClassWAN:
+		return "wan"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats reports accumulated traffic per link class.
+type Stats struct {
+	Bytes   [numClasses]int64
+	Frames  [numClasses]int64
+	Dropped int64
+}
+
+// BytesWAN returns the wide-area byte count, the quantity public clouds
+// bill for and Figure 9d reports.
+func (s Stats) BytesWAN() int64 { return s.Bytes[ClassWAN] }
+
+// BytesLAN returns the intra-region byte count.
+func (s Stats) BytesLAN() int64 { return s.Bytes[ClassLAN] }
+
+// Options configures a Network.
+type Options struct {
+	// Placement supplies per-link latency; nil means negligible
+	// latency everywhere (useful for pure logic tests).
+	Placement *topo.Placement
+	// JitterFrac adds uniform random extra latency in
+	// [0, JitterFrac*base] per frame. Zero disables jitter.
+	JitterFrac float64
+	// Seed makes jitter and drop decisions reproducible.
+	Seed int64
+	// PendingLimit bounds frames buffered for not-yet-registered
+	// stream handlers, per stream. Defaults to 4096.
+	PendingLimit int
+}
+
+// Network is an in-process transport with emulated latency.
+type Network struct {
+	opts Options
+
+	mu       sync.Mutex
+	nodes    map[ids.NodeID]*memNode
+	links    map[linkKey]*link
+	cut      map[linkKey]bool
+	isolated map[ids.NodeID]bool
+	dropRate map[linkKey]float64
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	bytes   [numClasses]atomic.Int64
+	frames  [numClasses]atomic.Int64
+	dropped atomic.Int64
+}
+
+var _ transport.Network = (*Network)(nil)
+
+type linkKey struct{ from, to ids.NodeID }
+
+// New creates an emulated network.
+func New(opts Options) *Network {
+	if opts.PendingLimit <= 0 {
+		opts.PendingLimit = 4096
+	}
+	return &Network{
+		opts:     opts,
+		nodes:    make(map[ids.NodeID]*memNode),
+		links:    make(map[linkKey]*link),
+		cut:      make(map[linkKey]bool),
+		isolated: make(map[ids.NodeID]bool),
+		dropRate: make(map[linkKey]float64),
+		done:     make(chan struct{}),
+	}
+}
+
+// Node returns (creating if needed) the handle for id.
+func (n *Network) Node(id ids.NodeID) transport.Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if node, ok := n.nodes[id]; ok {
+		return node
+	}
+	node := &memNode{
+		net:      n,
+		id:       id,
+		handlers: make(map[transport.Stream]transport.Handler),
+		pending:  make(map[transport.Stream][]pendingFrame),
+	}
+	n.nodes[id] = node
+	return node
+}
+
+// Close stops all delivery goroutines and waits for them to exit.
+// Frames still in flight are discarded.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.done)
+	for _, l := range n.links {
+		l.close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Isolate drops all traffic to and from id while isolated is true,
+// emulating a crashed or unreachable node.
+func (n *Network) Isolate(id ids.NodeID, isolated bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if isolated {
+		n.isolated[id] = true
+	} else {
+		delete(n.isolated, id)
+	}
+}
+
+// Cut severs (or restores) the bidirectional link between a and b.
+func (n *Network) Cut(a, b ids.NodeID, severed bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if severed {
+		n.cut[linkKey{a, b}] = true
+		n.cut[linkKey{b, a}] = true
+	} else {
+		delete(n.cut, linkKey{a, b})
+		delete(n.cut, linkKey{b, a})
+	}
+}
+
+// SetDropRate makes the directed link a->b drop frames with the given
+// probability in [0,1].
+func (n *Network) SetDropRate(a, b ids.NodeID, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate <= 0 {
+		delete(n.dropRate, linkKey{a, b})
+		return
+	}
+	n.dropRate[linkKey{a, b}] = rate
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	var s Stats
+	for c := 0; c < int(numClasses); c++ {
+		s.Bytes[c] = n.bytes[c].Load()
+		s.Frames[c] = n.frames[c].Load()
+	}
+	s.Dropped = n.dropped.Load()
+	return s
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	for c := 0; c < int(numClasses); c++ {
+		n.bytes[c].Store(0)
+		n.frames[c].Store(0)
+	}
+	n.dropped.Store(0)
+}
+
+// classify determines the link class of a directed pair.
+func (n *Network) classify(from, to ids.NodeID) LinkClass {
+	if from == to {
+		return ClassLocal
+	}
+	if n.opts.Placement == nil || n.opts.Placement.SameRegion(from, to) {
+		return ClassLAN
+	}
+	return ClassWAN
+}
+
+// send enqueues one frame onto the from->to link.
+func (n *Network) send(from, to ids.NodeID, stream transport.Stream, payload []byte) {
+	n.mu.Lock()
+	if n.closed || n.isolated[from] || n.isolated[to] || n.cut[linkKey{from, to}] {
+		n.mu.Unlock()
+		n.dropped.Add(1)
+		return
+	}
+	key := linkKey{from, to}
+	rate := n.dropRate[key]
+	l, ok := n.links[key]
+	if !ok {
+		l = newLink(n.opts.Seed, from, to)
+		n.links[key] = l
+		dst := n.nodes[to]
+		if dst == nil {
+			// Create the destination handle implicitly so frames sent
+			// to a node before anyone called Node(id) are buffered
+			// rather than lost.
+			n.mu.Unlock()
+			dst = n.Node(to).(*memNode)
+			n.mu.Lock()
+		}
+		n.wg.Add(1)
+		go n.runLink(l, dst)
+	}
+	n.mu.Unlock()
+
+	if rate > 0 && l.rand(rate) {
+		n.dropped.Add(1)
+		return
+	}
+
+	class := n.classify(from, to)
+	n.bytes[class].Add(int64(len(payload)) + frameOverhead)
+	n.frames[class].Add(1)
+
+	var base time.Duration
+	if n.opts.Placement != nil {
+		base = n.opts.Placement.OneWay(from, to)
+	}
+	l.enqueue(frame{from: from, stream: stream, payload: payload}, base, n.opts.JitterFrac)
+}
+
+// frameOverhead approximates per-frame header cost (IP+TCP headers) so
+// byte accounting is comparable to what a cloud provider bills.
+const frameOverhead = 40
+
+// runLink delivers frames of one directed link in FIFO order after
+// their scheduled delay.
+func (n *Network) runLink(l *link, dst *memNode) {
+	defer n.wg.Done()
+	for {
+		f, at, ok := l.next()
+		if !ok {
+			return
+		}
+		if wait := time.Until(at); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-n.done:
+				timer.Stop()
+				return
+			}
+		}
+		dst.deliver(f)
+	}
+}
+
+type frame struct {
+	from    ids.NodeID
+	stream  transport.Stream
+	payload []byte
+}
+
+type timedFrame struct {
+	frame
+	at time.Time
+}
+
+// link is an unbounded FIFO queue with monotone delivery times.
+type link struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []timedFrame
+	lastAt time.Time
+	closed bool
+	rng    *rand.Rand
+}
+
+func newLink(seed int64, from, to ids.NodeID) *link {
+	l := &link{
+		rng: rand.New(rand.NewSource(seed ^ int64(from)<<20 ^ int64(to))),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// rand draws a drop decision; guarded because Send may be called from
+// many goroutines.
+func (l *link) rand(rate float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64() < rate
+}
+
+func (l *link) enqueue(f frame, base time.Duration, jitterFrac float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	delay := base
+	if jitterFrac > 0 && base > 0 {
+		delay += time.Duration(l.rng.Float64() * jitterFrac * float64(base))
+	}
+	at := time.Now().Add(delay)
+	// FIFO: a later frame never overtakes an earlier one even if
+	// jitter would schedule it sooner.
+	if at.Before(l.lastAt) {
+		at = l.lastAt
+	}
+	l.lastAt = at
+	l.q = append(l.q, timedFrame{frame: f, at: at})
+	l.cond.Signal()
+}
+
+func (l *link) next() (frame, time.Time, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.q) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.q) == 0 {
+		return frame{}, time.Time{}, false
+	}
+	tf := l.q[0]
+	l.q = l.q[1:]
+	return tf.frame, tf.at, true
+}
+
+func (l *link) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}
+
+type pendingFrame struct {
+	from    ids.NodeID
+	payload []byte
+}
+
+// memNode implements transport.Node.
+type memNode struct {
+	net *Network
+	id  ids.NodeID
+
+	mu       sync.Mutex
+	handlers map[transport.Stream]transport.Handler
+	pending  map[transport.Stream][]pendingFrame
+}
+
+var _ transport.Node = (*memNode)(nil)
+
+func (m *memNode) ID() ids.NodeID { return m.id }
+
+func (m *memNode) Send(to ids.NodeID, stream transport.Stream, payload []byte) {
+	m.net.send(m.id, to, stream, payload)
+}
+
+func (m *memNode) Multicast(to []ids.NodeID, stream transport.Stream, payload []byte) {
+	for _, dst := range to {
+		m.net.send(m.id, dst, stream, payload)
+	}
+}
+
+func (m *memNode) Handle(stream transport.Stream, h transport.Handler) {
+	m.mu.Lock()
+	m.handlers[stream] = h
+	backlog := m.pending[stream]
+	delete(m.pending, stream)
+	m.mu.Unlock()
+	for _, f := range backlog {
+		h(f.from, f.payload)
+	}
+}
+
+// deliver hands a frame to the registered handler, or buffers it
+// (bounded) until a handler appears.
+func (m *memNode) deliver(f frame) {
+	m.mu.Lock()
+	h, ok := m.handlers[f.stream]
+	if !ok {
+		if len(m.pending[f.stream]) < m.net.opts.PendingLimit {
+			m.pending[f.stream] = append(m.pending[f.stream], pendingFrame{from: f.from, payload: f.payload})
+		} else {
+			m.net.dropped.Add(1)
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	h(f.from, f.payload)
+}

@@ -1,0 +1,277 @@
+package memnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spider/internal/ids"
+	"spider/internal/topo"
+	"spider/internal/transport"
+)
+
+const testStream = transport.Stream(1)
+
+func TestDelivery(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+
+	got := make(chan string, 1)
+	net.Node(2).Handle(testStream, func(from ids.NodeID, payload []byte) {
+		if from != 1 {
+			t.Errorf("from = %v", from)
+		}
+		got <- string(payload)
+	})
+	net.Node(1).Send(2, testStream, []byte("ping"))
+
+	select {
+	case msg := <-got:
+		if msg != "ping" {
+			t.Errorf("payload = %q", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("frame not delivered")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	net := New(Options{JitterFrac: 0.5, Seed: 42})
+	defer net.Close()
+
+	const count = 200
+	var mu sync.Mutex
+	var seen []int
+	done := make(chan struct{})
+	net.Node(2).Handle(testStream, func(_ ids.NodeID, payload []byte) {
+		mu.Lock()
+		seen = append(seen, int(payload[0])<<8|int(payload[1]))
+		if len(seen) == count {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	n1 := net.Node(1)
+	for i := 0; i < count; i++ {
+		n1.Send(2, testStream, []byte{byte(i >> 8), byte(i)})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("frames not delivered")
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("frame %d arrived at position %d", v, i)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	p := topo.NewPlacement(1.0)
+	p.Place(1, topo.Site{Region: topo.Virginia})
+	p.Place(2, topo.Site{Region: topo.Tokyo})
+	net := New(Options{Placement: p})
+	defer net.Close()
+
+	got := make(chan time.Duration, 1)
+	start := time.Now()
+	net.Node(2).Handle(testStream, func(ids.NodeID, []byte) {
+		got <- time.Since(start)
+	})
+	net.Node(1).Send(2, testStream, []byte("x"))
+
+	select {
+	case d := <-got:
+		// one-way Virginia->Tokyo is 81ms
+		if d < 75*time.Millisecond || d > 200*time.Millisecond {
+			t.Errorf("delivery took %v, want ~81ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame not delivered")
+	}
+}
+
+func TestHandleBeforeSendBuffering(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+
+	// Send before any handler is registered; the frame must be
+	// buffered and delivered upon registration.
+	net.Node(1).Send(2, testStream, []byte("early"))
+	time.Sleep(20 * time.Millisecond)
+
+	got := make(chan string, 1)
+	net.Node(2).Handle(testStream, func(_ ids.NodeID, payload []byte) {
+		got <- string(payload)
+	})
+	select {
+	case msg := <-got:
+		if msg != "early" {
+			t.Errorf("payload = %q", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("buffered frame not delivered")
+	}
+}
+
+func TestIsolate(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+
+	var count atomic.Int32
+	net.Node(2).Handle(testStream, func(ids.NodeID, []byte) { count.Add(1) })
+
+	net.Isolate(2, true)
+	net.Node(1).Send(2, testStream, []byte("lost"))
+	time.Sleep(30 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatal("isolated node received a frame")
+	}
+
+	net.Isolate(2, false)
+	net.Node(1).Send(2, testStream, []byte("found"))
+	deadline := time.Now().Add(time.Second)
+	for count.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if count.Load() != 1 {
+		t.Fatal("frame after un-isolation not delivered")
+	}
+	if net.Stats().Dropped == 0 {
+		t.Error("drop not counted")
+	}
+}
+
+func TestCut(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+
+	var count atomic.Int32
+	net.Node(2).Handle(testStream, func(ids.NodeID, []byte) { count.Add(1) })
+	net.Cut(1, 2, true)
+	net.Node(1).Send(2, testStream, []byte("lost"))
+	time.Sleep(30 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatal("cut link delivered a frame")
+	}
+	// Other links remain usable.
+	net.Node(3).Send(2, testStream, []byte("ok"))
+	deadline := time.Now().Add(time.Second)
+	for count.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if count.Load() != 1 {
+		t.Fatal("unrelated link affected by cut")
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	net := New(Options{Seed: 7})
+	defer net.Close()
+
+	var count atomic.Int32
+	net.Node(2).Handle(testStream, func(ids.NodeID, []byte) { count.Add(1) })
+	net.SetDropRate(1, 2, 1.0)
+	for i := 0; i < 10; i++ {
+		net.Node(1).Send(2, testStream, []byte("x"))
+	}
+	time.Sleep(30 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatalf("%d frames got through a 100%% drop link", count.Load())
+	}
+	net.SetDropRate(1, 2, 0)
+	net.Node(1).Send(2, testStream, []byte("x"))
+	deadline := time.Now().Add(time.Second)
+	for count.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if count.Load() != 1 {
+		t.Fatal("frame dropped after rate reset")
+	}
+}
+
+func TestStatsClassification(t *testing.T) {
+	p := topo.NewPlacement(0.001) // tiny scale so the test is fast
+	p.Place(1, topo.Site{Region: topo.Virginia, Zone: 0})
+	p.Place(2, topo.Site{Region: topo.Virginia, Zone: 1})
+	p.Place(3, topo.Site{Region: topo.Tokyo, Zone: 0})
+	net := New(Options{Placement: p})
+	defer net.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	handler := func(ids.NodeID, []byte) { wg.Done() }
+	net.Node(1).Handle(testStream, handler)
+	net.Node(2).Handle(testStream, handler)
+	net.Node(3).Handle(testStream, handler)
+
+	payload := make([]byte, 100)
+	net.Node(1).Send(1, testStream, payload) // local
+	net.Node(1).Send(2, testStream, payload) // LAN
+	net.Node(1).Send(3, testStream, payload) // WAN
+	wg.Wait()
+
+	s := net.Stats()
+	want := int64(100 + frameOverhead)
+	if s.Bytes[ClassLocal] != want || s.Bytes[ClassLAN] != want || s.Bytes[ClassWAN] != want {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.BytesWAN() != want || s.BytesLAN() != want {
+		t.Errorf("accessors: wan=%d lan=%d", s.BytesWAN(), s.BytesLAN())
+	}
+
+	net.ResetStats()
+	if s := net.Stats(); s.Bytes[ClassWAN] != 0 || s.Frames[ClassLAN] != 0 {
+		t.Errorf("reset failed: %+v", s)
+	}
+}
+
+func TestMulticast(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+
+	var count atomic.Int32
+	done := make(chan struct{})
+	h := func(ids.NodeID, []byte) {
+		if count.Add(1) == 3 {
+			close(done)
+		}
+	}
+	net.Node(2).Handle(testStream, h)
+	net.Node(3).Handle(testStream, h)
+	net.Node(4).Handle(testStream, h)
+	net.Node(1).Multicast([]ids.NodeID{2, 3, 4}, testStream, []byte("all"))
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatalf("multicast delivered %d of 3", count.Load())
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	p := topo.NewPlacement(1.0)
+	p.Place(1, topo.Site{Region: topo.Virginia})
+	p.Place(2, topo.Site{Region: topo.Tokyo})
+	net := New(Options{Placement: p})
+
+	var count atomic.Int32
+	net.Node(2).Handle(testStream, func(ids.NodeID, []byte) { count.Add(1) })
+	net.Node(1).Send(2, testStream, []byte("in flight"))
+	net.Close() // closes while the frame is still "on the wire"
+	if count.Load() != 0 {
+		t.Error("frame delivered after Close")
+	}
+	// Close is idempotent.
+	net.Close()
+	// Sends after close are silently dropped.
+	net.Node(1).Send(2, testStream, []byte("late"))
+}
+
+func TestLinkClassString(t *testing.T) {
+	if ClassLocal.String() != "local" || ClassLAN.String() != "lan" ||
+		ClassWAN.String() != "wan" || LinkClass(9).String() != "unknown" {
+		t.Error("LinkClass.String mismatch")
+	}
+}

@@ -1,0 +1,473 @@
+// Package tcpnet implements transport.Node over TCP for multi-process
+// deployments (cmd/spider-node). Frames are length-prefixed; outbound
+// connections are established lazily per peer and re-dialed with
+// backoff after failures; inbound connections identify their sender
+// with a handshake.
+//
+// The transport offers the same best-effort contract as memnet: frames
+// to unreachable peers are dropped (bounded queues bridge short
+// outages), and the claimed sender identity is only trusted as far as
+// the protocol layers' MACs and signatures verify it — exactly the
+// paper's threat model, where the network is untrusted.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"spider/internal/ids"
+	"spider/internal/transport"
+)
+
+// Options configures a TCP node.
+type Options struct {
+	// Self is this node's identity.
+	Self ids.NodeID
+	// ListenAddr is the local listen address (e.g. ":7001"); empty
+	// means client-only (no inbound connections).
+	ListenAddr string
+	// Peers maps node ids to dial addresses.
+	Peers map[ids.NodeID]string
+	// QueueLen bounds the per-peer outbound queue (default 4096).
+	QueueLen int
+	// DialTimeout bounds connection attempts (default 3s).
+	DialTimeout time.Duration
+	// RedialBackoff is the pause after a failed dial (default 500ms).
+	RedialBackoff time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.QueueLen <= 0 {
+		o.QueueLen = 4096
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 500 * time.Millisecond
+	}
+}
+
+// maxFrameSize bounds inbound frames (protects against corrupt length
+// prefixes).
+const maxFrameSize = 1 << 26 // 64 MiB
+
+// Node is a TCP-backed transport.Node.
+type Node struct {
+	opts     Options
+	listener net.Listener
+
+	mu       sync.Mutex
+	handlers map[transport.Stream]transport.Handler
+	pending  map[transport.Stream][][2]any // buffered (from, payload) pre-registration
+	outbound map[ids.NodeID]*peerQueue
+	inbound  map[net.Conn]struct{}
+	loop     *selfQueue // asynchronous FIFO self-delivery
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// selfQueue delivers frames a node sends to itself asynchronously and
+// in order, matching memnet's semantics: handlers never run on the
+// sender's goroutine (protocol code may hold locks while sending).
+type selfQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []frame
+	closed bool
+}
+
+func newSelfQueue() *selfQueue {
+	q := &selfQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *selfQueue) push(f frame) {
+	q.mu.Lock()
+	if !q.closed {
+		q.queue = append(q.queue, f)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+func (q *selfQueue) pop() (frame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return frame{}, false
+	}
+	f := q.queue[0]
+	q.queue = q.queue[1:]
+	return f, true
+}
+
+func (q *selfQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+var _ transport.Node = (*Node)(nil)
+
+// Listen starts a TCP node.
+func Listen(opts Options) (*Node, error) {
+	opts.applyDefaults()
+	if !opts.Self.Valid() {
+		return nil, errors.New("tcpnet: self id required")
+	}
+	n := &Node{
+		opts:     opts,
+		handlers: make(map[transport.Stream]transport.Handler),
+		pending:  make(map[transport.Stream][][2]any),
+		outbound: make(map[ids.NodeID]*peerQueue),
+		inbound:  make(map[net.Conn]struct{}),
+		loop:     newSelfQueue(),
+	}
+	n.wg.Add(1)
+	go n.loopbackLoop()
+	if opts.ListenAddr != "" {
+		l, err := net.Listen("tcp", opts.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", opts.ListenAddr, err)
+		}
+		n.listener = l
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (n *Node) Addr() string {
+	if n.listener == nil {
+		return ""
+	}
+	return n.listener.Addr().String()
+}
+
+// ID implements transport.Node.
+func (n *Node) ID() ids.NodeID { return n.opts.Self }
+
+// Close shuts the node down.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	queues := make([]*peerQueue, 0, len(n.outbound))
+	for _, q := range n.outbound {
+		queues = append(queues, q)
+	}
+	conns := make([]net.Conn, 0, len(n.inbound))
+	for conn := range n.inbound {
+		conns = append(conns, conn)
+	}
+	n.mu.Unlock()
+
+	if n.listener != nil {
+		_ = n.listener.Close()
+	}
+	// Close inbound connections so their reader goroutines unblock.
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+	for _, q := range queues {
+		q.close()
+	}
+	n.loop.close()
+	n.wg.Wait()
+}
+
+// Handle implements transport.Node.
+func (n *Node) Handle(stream transport.Stream, h transport.Handler) {
+	n.mu.Lock()
+	n.handlers[stream] = h
+	backlog := n.pending[stream]
+	delete(n.pending, stream)
+	n.mu.Unlock()
+	for _, f := range backlog {
+		h(f[0].(ids.NodeID), f[1].([]byte))
+	}
+}
+
+// Send implements transport.Node.
+func (n *Node) Send(to ids.NodeID, stream transport.Stream, payload []byte) {
+	if to == n.opts.Self {
+		n.loop.push(frame{stream: stream, payload: payload})
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	q, ok := n.outbound[to]
+	if !ok {
+		addr, known := n.opts.Peers[to]
+		if !known {
+			n.mu.Unlock()
+			return // unknown peer: drop
+		}
+		q = newPeerQueue(n, to, addr)
+		n.outbound[to] = q
+		n.wg.Add(1)
+		go q.run()
+	}
+	n.mu.Unlock()
+	q.enqueue(stream, payload)
+}
+
+// Multicast implements transport.Node.
+func (n *Node) Multicast(to []ids.NodeID, stream transport.Stream, payload []byte) {
+	for _, dst := range to {
+		n.Send(dst, stream, payload)
+	}
+}
+
+func (n *Node) deliver(from ids.NodeID, stream transport.Stream, payload []byte) {
+	n.mu.Lock()
+	h, ok := n.handlers[stream]
+	if !ok {
+		if len(n.pending[stream]) < 4096 {
+			n.pending[stream] = append(n.pending[stream], [2]any{from, payload})
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	h(from, payload)
+}
+
+// loopbackLoop drains asynchronous self-deliveries.
+func (n *Node) loopbackLoop() {
+	defer n.wg.Done()
+	for {
+		f, ok := n.loop.pop()
+		if !ok {
+			return
+		}
+		n.deliver(n.opts.Self, f.stream, f.payload)
+	}
+}
+
+// --- inbound ---------------------------------------------------------------
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.inbound[conn] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+
+	// Handshake: 4-byte little-endian sender id. The identity is a
+	// claim; protocol-level authentication decides what to believe.
+	var hs [4]byte
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return
+	}
+	from := ids.NodeID(binary.LittleEndian.Uint32(hs[:]))
+	if !from.Valid() {
+		return
+	}
+
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(conn, header[:]); err != nil {
+			return
+		}
+		length := binary.LittleEndian.Uint32(header[:4])
+		stream := transport.Stream(binary.LittleEndian.Uint32(header[4:]))
+		if length > maxFrameSize {
+			return
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		n.deliver(from, stream, payload)
+	}
+}
+
+// --- outbound ---------------------------------------------------------------
+
+type frame struct {
+	stream  transport.Stream
+	payload []byte
+}
+
+// peerQueue owns the connection to one peer: frames enqueue without
+// blocking; a writer goroutine dials (and re-dials) and drains.
+type peerQueue struct {
+	node *Node
+	peer ids.NodeID
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []frame
+	conn   net.Conn
+	closed bool
+}
+
+func newPeerQueue(n *Node, peer ids.NodeID, addr string) *peerQueue {
+	q := &peerQueue{node: n, peer: peer, addr: addr}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *peerQueue) enqueue(stream transport.Stream, payload []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if len(q.queue) >= q.node.opts.QueueLen {
+		// Best-effort semantics: drop the oldest frame; the protocols
+		// recover via retries and checkpoints.
+		q.queue = q.queue[1:]
+	}
+	q.queue = append(q.queue, frame{stream: stream, payload: payload})
+	q.cond.Signal()
+}
+
+func (q *peerQueue) next() (frame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return frame{}, false
+	}
+	f := q.queue[0]
+	q.queue = q.queue[1:]
+	return f, true
+}
+
+func (q *peerQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	if q.conn != nil {
+		_ = q.conn.Close() // unblock a writer stuck on a dead peer
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *peerQueue) run() {
+	defer q.node.wg.Done()
+	defer func() {
+		q.mu.Lock()
+		if q.conn != nil {
+			q.conn.Close()
+			q.conn = nil
+		}
+		q.mu.Unlock()
+	}()
+	for {
+		f, ok := q.next()
+		if !ok {
+			return
+		}
+		for {
+			q.mu.Lock()
+			conn := q.conn
+			closed := q.closed
+			q.mu.Unlock()
+			if closed {
+				return
+			}
+			if conn == nil {
+				c, err := q.dial()
+				if err != nil {
+					time.Sleep(q.node.opts.RedialBackoff)
+					continue
+				}
+				q.mu.Lock()
+				if q.closed {
+					q.mu.Unlock()
+					c.Close()
+					return
+				}
+				q.conn = c
+				q.mu.Unlock()
+				conn = c
+			}
+			if err := writeFrame(conn, f); err != nil {
+				conn.Close()
+				q.mu.Lock()
+				if q.conn == conn {
+					q.conn = nil
+				}
+				q.mu.Unlock()
+				continue // re-dial and retry this frame
+			}
+			break
+		}
+	}
+}
+
+func (q *peerQueue) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", q.addr, q.node.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	var hs [4]byte
+	binary.LittleEndian.PutUint32(hs[:], uint32(q.node.opts.Self))
+	if _, err := conn.Write(hs[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func writeFrame(conn net.Conn, f frame) error {
+	var header [8]byte
+	binary.LittleEndian.PutUint32(header[:4], uint32(len(f.payload)))
+	binary.LittleEndian.PutUint32(header[4:], uint32(f.stream))
+	if _, err := conn.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(f.payload)
+	return err
+}

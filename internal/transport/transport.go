@@ -1,0 +1,75 @@
+// Package transport defines the point-to-point messaging abstraction
+// shared by every protocol component. A deployment connects nodes
+// through a Network; each node obtains a Node handle, registers
+// per-Stream handlers, and sends frames to peers.
+//
+// Two implementations exist: memnet (in-process, with emulated WAN
+// latency; used by tests, examples and the benchmark harness) and
+// tcpnet (real TCP; used by the cmd/spider-node daemon).
+//
+// Delivery contract: frames between the same ordered pair of nodes are
+// delivered in FIFO order per stream pair; delivery is asynchronous and
+// best-effort (a crashed or partitioned receiver silently loses
+// frames). Handlers must not block for long — a handler that needs to
+// wait must hand the frame to its own goroutine. These are exactly the
+// assumptions the paper's protocols make of their channels, with
+// retransmission and flow control layered above (IRMCs, client retry).
+package transport
+
+import "spider/internal/ids"
+
+// Stream demultiplexes independent components sharing one node, e.g.
+// the PBFT instance, each IRMC endpoint, and the checkpoint component.
+type Stream uint32
+
+// StreamKind occupies the top byte of a Stream and namespaces the
+// component kinds; the remaining bytes identify the concrete instance
+// (for IRMCs, the execution group the channel belongs to).
+type StreamKind uint8
+
+// Stream kinds used by the protocol packages.
+const (
+	KindClient     StreamKind = 1 // client <-> execution replica traffic
+	KindPBFT       StreamKind = 2 // consensus traffic inside a group
+	KindRequestCh  StreamKind = 3 // request IRMC (execution -> agreement)
+	KindCommitCh   StreamKind = 4 // commit IRMC (agreement -> execution)
+	KindCheckpoint StreamKind = 5 // checkpoint component within a group
+	KindFetch      StreamKind = 6 // checkpoint state transfer
+	KindHFT        StreamKind = 7 // HFT baseline traffic
+	KindBench      StreamKind = 8 // microbenchmark traffic
+)
+
+// MakeStream composes a stream identifier from a kind and an instance
+// number (for example a group id).
+func MakeStream(kind StreamKind, instance uint32) Stream {
+	return Stream(uint32(kind)<<24 | instance&0xFFFFFF)
+}
+
+// Handler processes one inbound frame. The payload is owned by the
+// handler (the transport never reuses it).
+type Handler func(from ids.NodeID, payload []byte)
+
+// Node is one endpoint's connection to the network.
+type Node interface {
+	// ID returns the node identity this handle sends as.
+	ID() ids.NodeID
+	// Send asynchronously delivers payload to the stream handler at
+	// `to`. Send never blocks on the receiver.
+	Send(to ids.NodeID, stream Stream, payload []byte)
+	// Multicast sends payload to every node in to (self included if
+	// listed).
+	Multicast(to []ids.NodeID, stream Stream, payload []byte)
+	// Handle registers the handler for a stream. Frames that arrived
+	// before registration are buffered (bounded) and delivered upon
+	// registration, so components may be wired in any order.
+	Handle(stream Stream, h Handler)
+}
+
+// Network creates node handles. Implementations are safe for
+// concurrent use.
+type Network interface {
+	// Node returns the handle for id, creating it if necessary.
+	Node(id ids.NodeID) Node
+	// Close stops delivery and releases resources.
+	Close()
+}

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TypeTag identifies a concrete message type inside a Registry frame.
+type TypeTag uint8
+
+// Registry maps type tags to message constructors so a stream of
+// heterogeneous messages can be framed and decoded. Each protocol layer
+// owns its own registry; tags are scoped to the registry, not global.
+//
+// A Registry is built once during setup and must not be mutated after
+// first use; it is then safe for concurrent readers.
+type Registry struct {
+	factories map[TypeTag]func() Message
+	tags      map[string]TypeTag
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		factories: make(map[TypeTag]func() Message),
+		tags:      make(map[string]TypeTag),
+	}
+}
+
+// Register associates tag with a constructor for one concrete message
+// type. name is used for diagnostics and reverse lookup. Register
+// panics on duplicate tags or names: registry construction is static
+// wiring, and a duplicate is a programming error.
+func (g *Registry) Register(tag TypeTag, name string, factory func() Message) {
+	if _, dup := g.factories[tag]; dup {
+		panic(fmt.Sprintf("wire: duplicate tag %d", tag))
+	}
+	if _, dup := g.tags[name]; dup {
+		panic(fmt.Sprintf("wire: duplicate message name %q", name))
+	}
+	g.factories[tag] = factory
+	g.tags[name] = tag
+}
+
+// EncodeFrame serializes m prefixed with its type tag.
+func (g *Registry) EncodeFrame(tag TypeTag, m Marshaler) []byte {
+	var w Writer
+	w.WriteU8(byte(tag))
+	m.MarshalWire(&w)
+	return w.Bytes()
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame, returning the tag
+// and the decoded message.
+func (g *Registry) DecodeFrame(buf []byte) (TypeTag, Message, error) {
+	if len(buf) == 0 {
+		return 0, nil, fmt.Errorf("%w: empty frame", ErrCorrupt)
+	}
+	tag := TypeTag(buf[0])
+	factory, ok := g.factories[tag]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
+	}
+	m := factory()
+	if err := Decode(buf[1:], m); err != nil {
+		return 0, nil, fmt.Errorf("tag %d: %w", tag, err)
+	}
+	return tag, m, nil
+}
+
+// Names returns the registered message names in sorted order, for
+// diagnostics.
+func (g *Registry) Names() []string {
+	names := make([]string, 0, len(g.tags))
+	for n := range g.tags {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,348 @@
+// Package wire implements the deterministic binary encoding used for
+// every message in the system. Protocol messages are signed and MAC'd
+// over their encoded bytes, so the encoding must be canonical: the same
+// message always serializes to the same bytes, independent of map
+// iteration order or platform.
+//
+// The codec is deliberately simple: unsigned values use a little-endian
+// unsigned varint, signed values use zigzag, byte slices and strings are
+// length-prefixed. Messages implement Marshaler/Unmarshaler and are
+// framed with a one-byte type tag when sent through a typed registry
+// (see registry.go).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"spider/internal/ids"
+)
+
+// Marshaler is implemented by every wire message.
+type Marshaler interface {
+	MarshalWire(w *Writer)
+}
+
+// Unmarshaler is implemented by every wire message.
+type Unmarshaler interface {
+	UnmarshalWire(r *Reader)
+}
+
+// Message combines both directions; protocol messages implement it.
+type Message interface {
+	Marshaler
+	Unmarshaler
+}
+
+// Encode serializes m into a fresh byte slice.
+func Encode(m Marshaler) []byte {
+	var w Writer
+	m.MarshalWire(&w)
+	return w.Bytes()
+}
+
+// Decode parses buf into m, failing if bytes remain or the buffer is
+// short.
+func Decode(buf []byte, m Unmarshaler) error {
+	r := NewReader(buf)
+	m.UnmarshalWire(r)
+	return r.Close()
+}
+
+// Writer accumulates an encoded message. The zero value is ready to
+// use. Writes cannot fail; the buffer grows as needed.
+type Writer struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+// Bytes returns the encoded bytes. The returned slice aliases the
+// writer's buffer; callers must not keep writing afterwards if they
+// retain the slice.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset discards the accumulated bytes, retaining capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// WriteUvarint appends an unsigned varint.
+func (w *Writer) WriteUvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+// WriteVarint appends a zigzag-encoded signed varint.
+func (w *Writer) WriteVarint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+// WriteUint64 appends v as an unsigned varint.
+func (w *Writer) WriteUint64(v uint64) { w.WriteUvarint(v) }
+
+// WriteUint32 appends v as an unsigned varint.
+func (w *Writer) WriteUint32(v uint32) { w.WriteUvarint(uint64(v)) }
+
+// WriteInt appends v as a signed varint.
+func (w *Writer) WriteInt(v int) { w.WriteVarint(int64(v)) }
+
+// WriteBool appends a single 0/1 byte.
+func (w *Writer) WriteBool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// WriteU8 appends a raw byte.
+func (w *Writer) WriteU8(b byte) { w.buf = append(w.buf, b) }
+
+// WriteBytes appends a length-prefixed byte slice. A nil slice encodes
+// identically to an empty one.
+func (w *Writer) WriteBytes(b []byte) {
+	w.WriteUvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// WriteRaw appends bytes without a length prefix. Use only for
+// fixed-size trailers where the reader knows the length.
+func (w *Writer) WriteRaw(b []byte) { w.buf = append(w.buf, b...) }
+
+// WriteString appends a length-prefixed string.
+func (w *Writer) WriteString(s string) {
+	w.WriteUvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// WriteFloat64 appends an IEEE-754 encoding of v.
+func (w *Writer) WriteFloat64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	w.buf = append(w.buf, b[:]...)
+}
+
+// WriteNode appends a node identifier.
+func (w *Writer) WriteNode(id ids.NodeID) { w.WriteVarint(int64(id)) }
+
+// WriteGroup appends a group identifier.
+func (w *Writer) WriteGroup(id ids.GroupID) { w.WriteVarint(int64(id)) }
+
+// WriteClient appends a client identifier.
+func (w *Writer) WriteClient(id ids.ClientID) { w.WriteVarint(int64(id)) }
+
+// WriteSeq appends a sequence number.
+func (w *Writer) WriteSeq(s ids.SeqNr) { w.WriteUvarint(uint64(s)) }
+
+// WritePos appends a subchannel position.
+func (w *Writer) WritePos(p ids.Position) { w.WriteUvarint(uint64(p)) }
+
+// WriteSubchannel appends a subchannel identifier.
+func (w *Writer) WriteSubchannel(sc ids.Subchannel) { w.WriteVarint(int64(sc)) }
+
+// WriteMessage appends a length-prefixed nested message.
+func (w *Writer) WriteMessage(m Marshaler) {
+	var inner Writer
+	m.MarshalWire(&inner)
+	w.WriteBytes(inner.Bytes())
+}
+
+// ErrCorrupt is reported by Reader.Close when decoding failed or bytes
+// remained unconsumed.
+var ErrCorrupt = errors.New("wire: corrupt message")
+
+// Reader decodes a message. Errors are sticky: after the first failure
+// every subsequent read returns zero values, and Close reports the
+// failure. This keeps message decoding code free of per-field error
+// handling while still rejecting malformed input.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over buf. The reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the sticky decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Close verifies the message was consumed exactly.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, what, r.off)
+	}
+}
+
+// ReadUvarint consumes an unsigned varint.
+func (r *Reader) ReadUvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// ReadVarint consumes a zigzag-encoded signed varint.
+func (r *Reader) ReadVarint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// ReadUint64 consumes an unsigned varint.
+func (r *Reader) ReadUint64() uint64 { return r.ReadUvarint() }
+
+// ReadUint32 consumes an unsigned varint and narrows it to 32 bits.
+func (r *Reader) ReadUint32() uint32 {
+	v := r.ReadUvarint()
+	if v > math.MaxUint32 {
+		r.fail("uint32 overflow")
+		return 0
+	}
+	return uint32(v)
+}
+
+// ReadInt consumes a signed varint and narrows it to int.
+func (r *Reader) ReadInt() int {
+	v := r.ReadVarint()
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		r.fail("int overflow")
+		return 0
+	}
+	return int(v)
+}
+
+// ReadBool consumes a single 0/1 byte.
+func (r *Reader) ReadBool() bool {
+	b := r.ReadU8()
+	switch b {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bad bool")
+		return false
+	}
+}
+
+// ReadU8 consumes a raw byte.
+func (r *Reader) ReadU8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("short buffer")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// maxSliceLen bounds length prefixes so a corrupt message cannot force
+// a huge allocation before validation fails.
+const maxSliceLen = 1 << 26 // 64 MiB
+
+// ReadBytes consumes a length-prefixed byte slice. The result is a
+// copy, safe to retain.
+func (r *Reader) ReadBytes() []byte {
+	n := r.ReadUvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxSliceLen || n > uint64(len(r.buf)-r.off) {
+		r.fail("bad slice length")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// ReadRaw consumes exactly n raw bytes (no prefix). The result is a copy.
+func (r *Reader) ReadRaw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail("short raw read")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+// ReadString consumes a length-prefixed string.
+func (r *Reader) ReadString() string { return string(r.ReadBytes()) }
+
+// ReadFloat64 consumes an IEEE-754 float64.
+func (r *Reader) ReadFloat64() float64 {
+	b := r.ReadRaw(8)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// ReadNode consumes a node identifier.
+func (r *Reader) ReadNode() ids.NodeID { return ids.NodeID(r.ReadVarint()) }
+
+// ReadGroup consumes a group identifier.
+func (r *Reader) ReadGroup() ids.GroupID { return ids.GroupID(r.ReadVarint()) }
+
+// ReadClient consumes a client identifier.
+func (r *Reader) ReadClient() ids.ClientID { return ids.ClientID(r.ReadVarint()) }
+
+// ReadSeq consumes a sequence number.
+func (r *Reader) ReadSeq() ids.SeqNr { return ids.SeqNr(r.ReadUvarint()) }
+
+// ReadPos consumes a subchannel position.
+func (r *Reader) ReadPos() ids.Position { return ids.Position(r.ReadUvarint()) }
+
+// ReadSubchannel consumes a subchannel identifier.
+func (r *Reader) ReadSubchannel() ids.Subchannel { return ids.Subchannel(r.ReadVarint()) }
+
+// ReadMessage consumes a length-prefixed nested message into m.
+func (r *Reader) ReadMessage(m Unmarshaler) {
+	b := r.ReadBytes()
+	if r.err != nil {
+		return
+	}
+	if err := Decode(b, m); err != nil {
+		r.fail("nested message: " + err.Error())
+	}
+}
