@@ -1,0 +1,28 @@
+# Tier-1 verification and developer conveniences.
+
+GO ?= go
+
+.PHONY: check build vet test race bench tidy
+
+## check: what CI runs — build, vet, full test suite.
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/...
+
+## bench: the RSA crypto-pipeline throughput benchmarks (serial vs parallel).
+bench:
+	$(GO) test -run '^$$' -bench 'RSAThroughput|MicroPipelineRSA' -benchtime 2000x .
+
+tidy:
+	$(GO) mod tidy

@@ -9,16 +9,20 @@ package spider_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"spider"
+	"spider/internal/consensus/pbft"
 	"spider/internal/core"
 	"spider/internal/crypto"
 	"spider/internal/harness"
 	"spider/internal/ids"
 	"spider/internal/stats"
 	"spider/internal/topo"
+	"spider/internal/transport/memnet"
 	"spider/internal/wire"
 )
 
@@ -282,6 +286,103 @@ func BenchmarkAblationRealCrypto(b *testing.B) {
 	}
 }
 
+// --- RSA-suite agreement throughput ------------------------------------------
+
+// benchPBFTRSAThroughput measures raw agreement throughput of one
+// 4-replica PBFT group with RSA-1024 signatures over a zero-latency
+// in-process network, so CPU-bound crypto — not the WAN — is the
+// bottleneck. pipe selects the crypto execution mode: the serial
+// pipeline reproduces the old inline behavior (signing under the
+// replica lock, verification on the transport goroutines); the default
+// pipeline fans both out across cores. flows is the number of
+// concurrent submitters.
+func benchPBFTRSAThroughput(b *testing.B, pipe *crypto.Pipeline, flows int) {
+	nodes := []ids.NodeID{1, 2, 3, 4}
+	group := ids.Group{ID: 1, Members: nodes, F: 1}
+	suites := crypto.NewSuites(nodes, crypto.SuiteRSA)
+	net := memnet.New(memnet.Options{})
+	defer net.Close()
+
+	var delivered atomic.Int64
+	target := int64(b.N)
+	done := make(chan struct{})
+	replicas := make([]*pbft.Replica, 0, len(nodes))
+	for _, id := range nodes {
+		counting := id == nodes[0]
+		r, err := pbft.New(pbft.Config{
+			Group:          group,
+			Suite:          suites[id],
+			Node:           net.Node(id),
+			Stream:         1,
+			BatchSize:      8,
+			RequestTimeout: time.Minute, // saturation is not a faulty leader
+			Pipeline:       pipe,
+			Deliver: func(s ids.SeqNr, p []byte) {
+				if counting && delivered.Add(1) == target {
+					close(done)
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replicas = append(replicas, r)
+	}
+	for _, r := range replicas {
+		r.Start()
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	leader := replicas[0]
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := b.N / flows
+	for f := 0; f < flows; f++ {
+		count := per
+		if f == 0 {
+			count += b.N % flows
+		}
+		if count == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(f, count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				leader.Order(fmt.Appendf(make([]byte, 0, 64), "flow-%04d-req-%08d", f, i))
+			}
+		}(f, count)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Minute):
+		b.Fatalf("delivered %d of %d requests before timeout", delivered.Load(), target)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
+}
+
+func BenchmarkRSAThroughputSerialSingleFlow(b *testing.B) {
+	benchPBFTRSAThroughput(b, crypto.SerialPipeline(), 1)
+}
+
+func BenchmarkRSAThroughputPipelineSingleFlow(b *testing.B) {
+	benchPBFTRSAThroughput(b, crypto.DefaultPipeline(), 1)
+}
+
+func BenchmarkRSAThroughputSerial64Clients(b *testing.B) {
+	benchPBFTRSAThroughput(b, crypto.SerialPipeline(), 64)
+}
+
+func BenchmarkRSAThroughputPipeline64Clients(b *testing.B) {
+	benchPBFTRSAThroughput(b, crypto.DefaultPipeline(), 64)
+}
+
 // --- micro benchmarks ----------------------------------------------------------------
 
 func BenchmarkMicroRSASign(b *testing.B) {
@@ -303,6 +404,43 @@ func BenchmarkMicroRSAVerify(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchPipelineVerify pushes b.N RSA verifications through one lane of
+// the given pipeline; compute overlaps across workers while deliveries
+// stay ordered, so the parallel/serial ratio is the raw speedup the
+// pipeline buys on this machine.
+func benchPipelineVerify(b *testing.B, pipe *crypto.Pipeline) {
+	suites := crypto.NewSuites([]ids.NodeID{1, 2}, crypto.SuiteRSA)
+	msg := make([]byte, 256)
+	sig := suites[1].Sign(crypto.DomainPBFT, msg)
+	lane := pipe.NewLane()
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	wg.Add(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lane.Go(func() error {
+			return suites[2].Verify(1, crypto.DomainPBFT, msg, sig)
+		}, func(err error) {
+			if err != nil {
+				failed.Add(1)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	if failed.Load() > 0 {
+		b.Fatalf("%d verifications failed", failed.Load())
+	}
+}
+
+func BenchmarkMicroPipelineRSAVerifySerial(b *testing.B) {
+	benchPipelineVerify(b, crypto.SerialPipeline())
+}
+
+func BenchmarkMicroPipelineRSAVerifyParallel(b *testing.B) {
+	benchPipelineVerify(b, crypto.DefaultPipeline())
 }
 
 func BenchmarkMicroWireEncode(b *testing.B) {

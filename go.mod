@@ -1,0 +1,3 @@
+module spider
+
+go 1.24

@@ -113,6 +113,11 @@ type Config struct {
 	// before the replica suspects the leader and starts a view
 	// change. It doubles on consecutive failed view changes.
 	RequestTimeout time.Duration
+	// Pipeline runs signature verification and signing off the
+	// transport handler goroutines and the replica lock; nil selects
+	// the process-wide default pool (crypto.DefaultPipeline). Pass
+	// crypto.SerialPipeline() to force the old inline behavior.
+	Pipeline *crypto.Pipeline
 }
 
 func (c *Config) applyDefaults() {
@@ -133,6 +138,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Policy == nil {
 		c.Policy = CountQuorum{Need: 2*c.Group.F + 1}
+	}
+	if c.Pipeline == nil {
+		c.Pipeline = crypto.DefaultPipeline()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spider/internal/consensus"
@@ -129,6 +130,19 @@ type Replica struct {
 	// lastNewViewEnv is the envelope that installed the current view,
 	// relayed to laggards in status replies.
 	lastNewViewEnv []byte
+
+	// Crypto pipeline state: one inbound lane per group member keeps
+	// per-sender FIFO delivery while verification fans out across the
+	// worker pool, and signLane orders this replica's own outbound
+	// prepare/commit/checkpoint messages, whose signing also happens
+	// off the replica lock.
+	recvLanes map[ids.NodeID]*crypto.Lane
+	signLane  *crypto.Lane
+	stopFlag  atomic.Bool
+
+	// dispatchHook, when set by tests, observes every verified frame
+	// in dispatch order (called with r.mu held).
+	dispatchHook func(from ids.NodeID, tag wire.TypeTag, msg wire.Message)
 }
 
 var _ consensus.Agreement = (*Replica)(nil)
@@ -160,7 +174,12 @@ func New(cfg Config) (*Replica, error) {
 		vcs:          make(map[uint64]map[ids.NodeID]vcVote),
 		curTimeout:   cfg.RequestTimeout,
 		done:         make(chan struct{}),
+		recvLanes:    make(map[ids.NodeID]*crypto.Lane, len(cfg.Group.Members)),
 	}
+	for _, m := range cfg.Group.Members {
+		r.recvLanes[m] = cfg.Pipeline.NewLane()
+	}
+	r.signLane = cfg.Pipeline.NewLane()
 	r.cond = sync.NewCond(&r.mu)
 	return r, nil
 }
@@ -190,6 +209,7 @@ func (r *Replica) Stop() {
 		return
 	}
 	r.stopped = true
+	r.stopFlag.Store(true)
 	close(r.done)
 	r.cond.Broadcast()
 	r.mu.Unlock()
@@ -285,7 +305,11 @@ func (r *Replica) verifyRaw(raw *signedRaw) error {
 	return r.cfg.Suite.Verify(raw.From, crypto.DomainPBFT, raw.Frame, raw.Sig)
 }
 
-// onFrame is the transport handler for all PBFT traffic.
+// onFrame is the transport handler for all PBFT traffic. It only
+// decodes the envelope; signature verification, frame decoding and
+// payload validation run on the crypto pipeline so the transport
+// goroutine is never blocked on public-key operations. The per-sender
+// lane guarantees frames of one peer reach dispatch in arrival order.
 func (r *Replica) onFrame(from ids.NodeID, payload []byte) {
 	var raw signedRaw
 	if err := wire.Decode(payload, &raw); err != nil {
@@ -294,24 +318,86 @@ func (r *Replica) onFrame(from ids.NodeID, payload []byte) {
 	if raw.From != from {
 		return // transport identity must match the claimed signer
 	}
-	if from != r.me {
-		if err := r.verifyRaw(&raw); err != nil {
+	lane := r.recvLanes[from]
+	if lane == nil {
+		return // not a group member
+	}
+	var (
+		tag       wire.TypeTag
+		msg       wire.Message
+		valErr    error
+		validated bool
+	)
+	lane.Go(func() error {
+		if from != r.me {
+			if err := r.verifyRaw(&raw); err != nil {
+				return err
+			}
+		}
+		var err error
+		tag, msg, err = registry.DecodeFrame(raw.Frame)
+		if err != nil {
+			return err
+		}
+		if tag == tagPrePrepare && from != r.me && r.cfg.Validate != nil {
+			// A-Validity runs here too: client-request signature checks
+			// are as CPU-bound as the envelope signature and must not
+			// run under the replica lock. Gated on the same cheap
+			// acceptance checks the handler applies, so duplicate or
+			// out-of-window pre-prepares cannot buy batch-sized
+			// validation work on the shared pool (the handler falls
+			// back to inline validation for the rare frame that becomes
+			// acceptable between this check and dispatch).
+			if pp := msg.(*prePrepare); r.wouldAcceptPrePrepare(from, pp) {
+				validated = true
+				for _, p := range pp.Payloads {
+					if err := r.cfg.Validate(p); err != nil {
+						valErr = err
+						break
+					}
+				}
+			}
+		}
+		return nil
+	}, func(err error) {
+		if err != nil {
 			return
 		}
-	}
-	tag, msg, err := registry.DecodeFrame(raw.Frame)
-	if err != nil {
-		return
-	}
+		r.dispatch(from, tag, msg, raw, payload, valErr, validated)
+	})
+}
 
+// wouldAcceptPrePrepare mirrors handlePrePrepareLocked's cheap drop
+// conditions so payload validation is only paid for pre-prepares that
+// stand a chance of being installed.
+func (r *Replica) wouldAcceptPrePrepare(from ids.NodeID, pp *prePrepare) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped || !r.started || r.inVC || pp.View != r.view || from != r.cfg.leaderOf(pp.View) {
+		return false
+	}
+	if pp.Seq <= r.lowWM || pp.Seq > r.lowWM+2*uint64(r.cfg.Window) || pp.Seq < r.nextDeliver {
+		return false
+	}
+	if e, ok := r.log[pp.Seq]; ok && e.havePP {
+		return false
+	}
+	return true
+}
+
+// dispatch routes one verified frame to its handler.
+func (r *Replica) dispatch(from ids.NodeID, tag wire.TypeTag, msg wire.Message, raw signedRaw, payload []byte, valErr error, validated bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stopped || !r.started {
 		return
 	}
+	if r.dispatchHook != nil {
+		r.dispatchHook(from, tag, msg)
+	}
 	switch tag {
 	case tagPrePrepare:
-		r.handlePrePrepareLocked(from, msg.(*prePrepare), raw)
+		r.handlePrePrepareLocked(from, msg.(*prePrepare), raw, valErr, validated)
 	case tagPrepare:
 		r.handlePrepareLocked(from, msg.(*prepare), raw)
 	case tagCommit:
@@ -327,6 +413,37 @@ func (r *Replica) onFrame(from ids.NodeID, payload []byte) {
 	case tagStatusReply:
 		r.handleStatusReplyLocked(msg.(*statusReply))
 	}
+}
+
+// signMulticastLocked signs m on the crypto pipeline and multicasts the
+// envelope once the signature is ready. The signing lane preserves
+// submission order, so peers observe this replica's messages in the
+// order its protocol logic produced them even though signing happens
+// off the replica lock. Used for the high-rate normal-case messages
+// (prepare, commit, checkpoint) whose raws need not be stored locally;
+// messages that must be retained as transferable proofs (pre-prepare,
+// view change, new view) keep synchronous sealing.
+func (r *Replica) signMulticastLocked(tag wire.TypeTag, m wire.Marshaler) {
+	frame := registry.EncodeFrame(tag, m)
+	var env []byte
+	r.signLane.Go(func() error {
+		raw := signedRaw{
+			From:  r.me,
+			Frame: frame,
+			Sig:   r.cfg.Suite.Sign(crypto.DomainPBFT, frame),
+		}
+		env = wire.Encode(&raw)
+		return nil
+	}, func(error) {
+		// Deliberately lock-free: with a synchronous pipeline this
+		// callback runs on the submitting goroutine, which already
+		// holds r.mu. The transport is safe for concurrent use and
+		// drops traffic after shutdown.
+		if r.stopFlag.Load() {
+			return
+		}
+		r.cfg.Node.Multicast(r.cfg.Group.Members, r.cfg.Stream, env)
+	})
 }
 
 // --- proposing ----------------------------------------------------------
@@ -427,7 +544,7 @@ func (r *Replica) entryLocked(seq uint64) *entry {
 
 // --- normal case --------------------------------------------------------
 
-func (r *Replica) handlePrePrepareLocked(from ids.NodeID, pp *prePrepare, raw signedRaw) {
+func (r *Replica) handlePrePrepareLocked(from ids.NodeID, pp *prePrepare, raw signedRaw, valErr error, validated bool) {
 	if pp.Seq > r.lowWM+2*uint64(r.cfg.Window) {
 		r.maybeRequestStatusLocked()
 		return
@@ -446,10 +563,17 @@ func (r *Replica) handlePrePrepareLocked(from ids.NodeID, pp *prePrepare, raw si
 	if e.havePP {
 		return // first pre-prepare for this view/seq wins
 	}
-	if r.cfg.Validate != nil {
+	if valErr != nil {
+		return // refuse to endorse an invalid payload (A-Validity,
+		// checked on the crypto pipeline before dispatch)
+	}
+	if !validated && from != r.me && r.cfg.Validate != nil {
+		// The pipeline skipped validation because the frame looked
+		// droppable at verify time; the state moved in its favor, so
+		// validate inline (rare: a racing watermark or view install).
 		for _, p := range pp.Payloads {
 			if err := r.cfg.Validate(p); err != nil {
-				return // refuse to endorse an invalid payload
+				return
 			}
 		}
 	}
@@ -466,8 +590,7 @@ func (r *Replica) handlePrePrepareLocked(from ids.NodeID, pp *prePrepare, raw si
 	}
 	if from != r.me && !e.sentPrepare {
 		e.sentPrepare = true
-		env, _ := r.sealLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
-		r.multicastLocked(env)
+		r.signMulticastLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
 	}
 	r.checkPreparedLocked(e)
 	r.checkCommittedLocked(e)
@@ -507,8 +630,7 @@ func (r *Replica) checkPreparedLocked(e *entry) {
 	e.preparedRaws = raws
 	if !e.sentCommit {
 		e.sentCommit = true
-		env, _ := r.sealLocked(tagCommit, &commit{View: e.view, Seq: e.seq, Digest: e.digest})
-		r.multicastLocked(env)
+		r.signMulticastLocked(tagCommit, &commit{View: e.view, Seq: e.seq, Digest: e.digest})
 	}
 	r.checkCommittedLocked(e)
 }
@@ -592,10 +714,9 @@ func (r *Replica) deliveryLoop() {
 		globalStart := e.globalStart
 		batchSeq := e.seq
 
-		var ckptEnv []byte
 		if batchSeq%uint64(r.cfg.CheckpointInterval) == 0 {
 			msg := &checkpointMsg{BatchSeq: batchSeq, GlobalSeq: r.nextGlobal - 1, Chain: r.chain}
-			ckptEnv, _ = r.sealLocked(tagCheckpoint, msg)
+			r.signMulticastLocked(tagCheckpoint, msg)
 		}
 		// A committed successor may already be waiting.
 		r.cond.Broadcast()
@@ -603,13 +724,6 @@ func (r *Replica) deliveryLoop() {
 
 		for i, p := range payloads {
 			r.cfg.Deliver(ids.SeqNr(globalStart+uint64(i)), p)
-		}
-		if ckptEnv != nil {
-			r.mu.Lock()
-			if !r.stopped {
-				r.multicastLocked(ckptEnv)
-			}
-			r.mu.Unlock()
 		}
 	}
 }

@@ -420,8 +420,7 @@ func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*pre
 		}
 		if r.me != leader {
 			e.sentPrepare = true
-			env, _ := r.sealLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
-			r.multicastLocked(env)
+			r.signMulticastLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
 		}
 		r.checkPreparedLocked(e)
 	}

@@ -160,6 +160,10 @@ type ExecutionConfig struct {
 	Tunables Tunables
 	// Meter, when set, accounts this replica's processing time.
 	Meter *stats.CPUMeter
+	// Pipeline runs client-signature checks and channel verification
+	// off the transport goroutines; nil selects the process-wide
+	// default pool.
+	Pipeline *crypto.Pipeline
 }
 
 // Application is re-exported so the public API does not leak internal
@@ -208,6 +212,10 @@ type AgreementConfig struct {
 	ConsensusBatch int
 	// Meter, when set, accounts this replica's processing time.
 	Meter *stats.CPUMeter
+	// Pipeline runs consensus and channel crypto off the transport
+	// goroutines and the replica locks; nil selects the process-wide
+	// default pool.
+	Pipeline *crypto.Pipeline
 }
 
 func (c *AgreementConfig) validate() error {

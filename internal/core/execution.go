@@ -33,6 +33,12 @@ type ExecutionReplica struct {
 
 	forwarders map[ids.ClientID]*forwarder
 
+	// pipe runs client-signature verification off the transport
+	// goroutine; one lane per client keeps each client's requests in
+	// submission order while checks for different clients overlap.
+	pipe  *crypto.Pipeline
+	lanes map[ids.ClientID]*crypto.Lane // guarded by mu
+
 	stopped bool
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -51,7 +57,12 @@ func NewExecutionReplica(cfg ExecutionConfig) (*ExecutionReplica, error) {
 		t:          make(map[ids.ClientID]uint64),
 		replies:    make(map[ids.ClientID]replyCacheEntry),
 		forwarders: make(map[ids.ClientID]*forwarder),
+		pipe:       cfg.Pipeline,
+		lanes:      make(map[ids.ClientID]*crypto.Lane),
 		done:       make(chan struct{}),
+	}
+	if e.pipe == nil {
+		e.pipe = crypto.DefaultPipeline()
 	}
 	e.cond = sync.NewCond(&e.mu)
 
@@ -66,6 +77,7 @@ func NewExecutionReplica(cfg ExecutionConfig) (*ExecutionReplica, error) {
 		Meter:              cfg.Meter,
 		ProgressIntervalMS: cfg.Tunables.ChannelProgressMS,
 		CollectorTimeoutMS: cfg.Tunables.ChannelCollectorMS,
+		Pipeline:           cfg.Pipeline,
 	})
 	if err != nil {
 		return nil, err
@@ -80,6 +92,7 @@ func NewExecutionReplica(cfg ExecutionConfig) (*ExecutionReplica, error) {
 		Meter:              cfg.Meter,
 		ProgressIntervalMS: cfg.Tunables.ChannelProgressMS,
 		CollectorTimeoutMS: cfg.Tunables.ChannelCollectorMS,
+		Pipeline:           cfg.Pipeline,
 	})
 	if err != nil {
 		e.reqSender.Close()
@@ -204,14 +217,31 @@ func (e *ExecutionReplica) acceptRequest(req *ClientRequest) {
 		}
 		return
 	}
+	lane, ok := e.lanes[req.Client]
+	if !ok {
+		lane = e.pipe.NewLane()
+		e.lanes[req.Client] = lane
+	}
 	e.mu.Unlock()
 
 	// Verify the client signature only for requests we are about to
-	// forward (the expensive check runs at most once per request).
-	if err := e.cfg.Suite.Verify(req.Client.Node(), crypto.DomainClientRequest, req.SigPayload(), req.Sig); err != nil {
-		return
-	}
+	// forward (the expensive check runs at most once per request), on
+	// the crypto pipeline so the transport goroutine is free to admit
+	// other clients' traffic meanwhile.
+	lane.Go(func() error {
+		if e.cfg.Meter != nil {
+			defer e.cfg.Meter.Track()()
+		}
+		return e.cfg.Suite.Verify(req.Client.Node(), crypto.DomainClientRequest, req.SigPayload(), req.Sig)
+	}, func(err error) {
+		if err == nil {
+			e.admitVerified(req)
+		}
+	})
+}
 
+// admitVerified forwards a request whose signature already checked out.
+func (e *ExecutionReplica) admitVerified(req *ClientRequest) {
 	e.mu.Lock()
 	if e.stopped || req.Counter <= e.t[req.Client] {
 		e.mu.Unlock()

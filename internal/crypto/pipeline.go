@@ -1,0 +1,218 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pipeline schedules CPU-bound crypto work — signature verification and
+// signing — on a fixed pool of workers so that public-key operations no
+// longer serialize on transport handler goroutines or protocol locks.
+// Work is submitted through lanes: jobs of one lane run concurrently on
+// the pool, but their completion callbacks fire in submission order, so
+// a protocol endpoint that dedicates one lane per peer keeps the
+// per-sender FIFO delivery the transport provides while the expensive
+// compute fans out across cores.
+//
+// A Pipeline with zero workers degenerates to synchronous execution on
+// the caller's goroutine (still honoring lane delivery order), which
+// reproduces the pre-pipeline serial behavior; benchmarks use it as the
+// baseline.
+type Pipeline struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*task
+	closed bool
+	sync   bool
+	wg     sync.WaitGroup
+}
+
+// maxQueuedTasks bounds the pipeline's pending-compute queue. Above
+// the bound, submissions run inline on the submitting goroutine, which
+// restores the backpressure the old synchronous code had: a transport
+// goroutine feeding a saturated pool does the verification itself (and
+// its peer is throttled by TCP flow control) instead of growing an
+// unbounded queue a flooding peer could drive to OOM.
+const maxQueuedTasks = 4096
+
+// task is one unit of pipeline work, owned by a lane.
+type task struct {
+	lane    *Lane
+	compute func() error
+	deliver func(error)
+	err     error
+	done    bool
+}
+
+// NewPipeline creates a pipeline with the given number of workers.
+// workers <= 0 selects synchronous mode: jobs run inline on the
+// submitting goroutine.
+func NewPipeline(workers int) *Pipeline {
+	p := &Pipeline{sync: workers <= 0}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPipe *Pipeline
+)
+
+// DefaultPipeline returns the process-wide pipeline, sized to
+// GOMAXPROCS. Endpoints that are not given an explicit pipeline share
+// it, so an in-process deployment of many replicas is bounded by the
+// machine's cores rather than by goroutine count.
+func DefaultPipeline() *Pipeline {
+	defaultOnce.Do(func() {
+		defaultPipe = NewPipeline(runtime.GOMAXPROCS(0))
+	})
+	return defaultPipe
+}
+
+// SerialPipeline returns a synchronous pipeline: every job runs on the
+// goroutine that submits it. It reproduces the serial crypto behavior
+// the pipeline replaced and serves as the benchmark baseline.
+func SerialPipeline() *Pipeline { return NewPipeline(0) }
+
+// Close stops the workers after the queued jobs finish. Jobs submitted
+// after Close run synchronously on the submitting goroutine, so late
+// traffic is still delivered rather than lost. Closing the default
+// pipeline is not supported.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed || p.sync {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// NewLane creates an ordered submission lane. Lanes are cheap: an
+// abandoned lane with no queued jobs holds no resources, so endpoints
+// may create one per peer without cleanup bookkeeping.
+func (p *Pipeline) NewLane() *Lane {
+	return &Lane{p: p}
+}
+
+func (p *Pipeline) submit(tasks []*task) {
+	p.mu.Lock()
+	if p.sync || p.closed || len(p.queue)+len(tasks) > maxQueuedTasks {
+		p.mu.Unlock()
+		for _, t := range tasks {
+			t.run()
+		}
+		return
+	}
+	p.queue = append(p.queue, tasks...)
+	if len(tasks) == 1 {
+		p.cond.Signal()
+	} else {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue[0] = nil // release for GC; the slice head advances
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		t.run()
+	}
+}
+
+func (t *task) run() {
+	t.err = t.compute()
+	t.lane.complete(t)
+}
+
+// Job pairs a compute function with its ordered delivery callback, for
+// batch submission.
+type Job struct {
+	// Compute runs on a pool worker, concurrently with other jobs.
+	Compute func() error
+	// Deliver receives Compute's result; deliveries of one lane fire
+	// in submission order, one at a time.
+	Deliver func(error)
+}
+
+// Lane is an ordered submission queue on a Pipeline. Compute functions
+// of one lane run concurrently; Deliver callbacks run sequentially in
+// submission order (a reorder buffer sits between the two). Lanes are
+// safe for concurrent use.
+type Lane struct {
+	p        *Pipeline
+	mu       sync.Mutex
+	q        []*task
+	draining bool
+}
+
+// Go submits one job: compute runs on the pool, deliver fires in lane
+// order with compute's result. deliver runs on a pool worker (or, for
+// a synchronous pipeline, on a submitting goroutine) and may block.
+func (l *Lane) Go(compute func() error, deliver func(error)) {
+	t := &task{lane: l, compute: compute, deliver: deliver}
+	l.mu.Lock()
+	l.q = append(l.q, t)
+	l.mu.Unlock()
+	l.p.submit([]*task{t})
+}
+
+// GoBatch submits several jobs with a single queue operation,
+// preserving their relative order within the lane.
+func (l *Lane) GoBatch(jobs []Job) {
+	if len(jobs) == 0 {
+		return
+	}
+	tasks := make([]*task, len(jobs))
+	for i, j := range jobs {
+		tasks[i] = &task{lane: l, compute: j.Compute, deliver: j.Deliver}
+	}
+	l.mu.Lock()
+	l.q = append(l.q, tasks...)
+	l.mu.Unlock()
+	l.p.submit(tasks)
+}
+
+// complete marks t done and drains every finished task at the queue
+// head, in order. Only one goroutine drains a lane at a time, so
+// deliver callbacks never run concurrently for one lane.
+func (l *Lane) complete(t *task) {
+	l.mu.Lock()
+	t.done = true
+	if l.draining {
+		l.mu.Unlock()
+		return
+	}
+	l.draining = true
+	for len(l.q) > 0 && l.q[0].done {
+		head := l.q[0]
+		l.q[0] = nil
+		l.q = l.q[1:]
+		l.mu.Unlock()
+		head.deliver(head.err)
+		l.mu.Lock()
+	}
+	l.draining = false
+	if len(l.q) == 0 {
+		l.q = nil // let the backing array go once the lane idles
+	}
+	l.mu.Unlock()
+}

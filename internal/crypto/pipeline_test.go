@@ -1,0 +1,169 @@
+package crypto
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLaneOrdering floods one lane with jobs whose compute times are
+// adversarial (later jobs finish first) and asserts deliveries still
+// fire in submission order.
+func TestLaneOrdering(t *testing.T) {
+	p := NewPipeline(8)
+	defer p.Close()
+	lane := p.NewLane()
+
+	const n = 200
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		i := i
+		lane.Go(func() error {
+			// Early jobs sleep longer, so without the reorder buffer
+			// late jobs would overtake them.
+			time.Sleep(time.Duration((n-i)%8) * 100 * time.Microsecond)
+			return nil
+		}, func(error) {
+			mu.Lock()
+			got = append(got, i)
+			if len(got) == n {
+				close(done)
+			}
+			mu.Unlock()
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for deliveries")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery %d carried job %d (out of order)", i, v)
+		}
+	}
+}
+
+// TestLanesRunConcurrently asserts the pool actually overlaps compute
+// across lanes (the whole point of the pipeline).
+func TestLanesRunConcurrently(t *testing.T) {
+	p := NewPipeline(4)
+	defer p.Close()
+
+	var inFlight, maxInFlight atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		lane := p.NewLane()
+		wg.Add(1)
+		lane.Go(func() error {
+			cur := inFlight.Add(1)
+			for {
+				seen := maxInFlight.Load()
+				if cur <= seen || maxInFlight.CompareAndSwap(seen, cur) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			inFlight.Add(-1)
+			return nil
+		}, func(error) { wg.Done() })
+	}
+	wg.Wait()
+	if maxInFlight.Load() < 2 {
+		t.Fatalf("max concurrent compute = %d, want >= 2", maxInFlight.Load())
+	}
+}
+
+// TestGoBatch checks batch submission preserves order and results.
+func TestGoBatch(t *testing.T) {
+	p := NewPipeline(4)
+	defer p.Close()
+	lane := p.NewLane()
+
+	const n = 64
+	errBad := errors.New("bad")
+	var mu sync.Mutex
+	var got []int
+	var errs []error
+	done := make(chan struct{})
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{
+			Compute: func() error {
+				if i%3 == 0 {
+					return errBad
+				}
+				return nil
+			},
+			Deliver: func(err error) {
+				mu.Lock()
+				got = append(got, i)
+				errs = append(errs, err)
+				if len(got) == n {
+					close(done)
+				}
+				mu.Unlock()
+			},
+		}
+	}
+	lane.GoBatch(jobs)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for batch deliveries")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery %d carried job %d (out of order)", i, v)
+		}
+		wantErr := i%3 == 0
+		if (errs[i] != nil) != wantErr {
+			t.Fatalf("job %d delivered err %v", i, errs[i])
+		}
+	}
+}
+
+// TestSerialPipeline checks the zero-worker pipeline runs jobs inline
+// and still orders deliveries.
+func TestSerialPipeline(t *testing.T) {
+	p := SerialPipeline()
+	lane := p.NewLane()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		ran := false
+		lane.Go(func() error { ran = true; return nil }, func(error) { got = append(got, i) })
+		if !ran {
+			t.Fatalf("job %d did not run inline", i)
+		}
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery %d carried job %d", i, v)
+		}
+	}
+}
+
+// TestCloseDrainsAndFallsBack checks Close waits for queued jobs and
+// that later submissions still execute (synchronously).
+func TestCloseDrainsAndFallsBack(t *testing.T) {
+	p := NewPipeline(2)
+	lane := p.NewLane()
+	var delivered atomic.Int32
+	for i := 0; i < 32; i++ {
+		lane.Go(func() error { return nil }, func(error) { delivered.Add(1) })
+	}
+	p.Close()
+	if got := delivered.Load(); got != 32 {
+		t.Fatalf("delivered %d of 32 before Close returned", got)
+	}
+	lane.Go(func() error { return nil }, func(error) { delivered.Add(1) })
+	if got := delivered.Load(); got != 33 {
+		t.Fatalf("post-close submission not executed inline (delivered=%d)", got)
+	}
+}

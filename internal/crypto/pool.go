@@ -25,23 +25,39 @@ func devKeys(n int) []*rsa.PrivateKey {
 	missing := n - len(devPool.keys)
 	if missing > 0 {
 		fresh := make([]*rsa.PrivateKey, missing)
+		errs := make([]error, missing)
 		var wg sync.WaitGroup
 		for i := range fresh {
 			wg.Add(1)
-			go func() {
+			// i is passed as a parameter so every worker owns its slot
+			// regardless of language version: under pre-Go-1.22
+			// loop-variable semantics (this file predates the module's
+			// go directive) the by-reference capture made the workers
+			// race on one slot and leave nil keys in the pool.
+			go func(i int) {
 				defer wg.Done()
-				key, err := GenerateKey(DefaultKeyBits)
-				if err != nil {
-					// Key generation only fails if the system
-					// randomness source is broken; nothing in the
-					// process can proceed in that case.
-					panic(err)
-				}
-				fresh[i] = key
-			}()
+				fresh[i], errs[i] = GenerateKey(DefaultKeyBits)
+			}(i)
 		}
 		wg.Wait()
-		devPool.keys = append(devPool.keys, fresh...)
+		for i, key := range fresh {
+			if errs[i] != nil || key == nil {
+				// Key generation only fails if the system randomness
+				// source is broken; nothing in the process can proceed
+				// in that case. Appending one key at a time keeps the
+				// pool free of nil slots even then.
+				panic(errs[i])
+			}
+			devPool.keys = append(devPool.keys, key)
+		}
+	}
+	if n > len(devPool.keys) {
+		// Unreachable: missing is recomputed from the pool length on
+		// every call, so a partial fill (a generation panic a caller
+		// recovered from) is regenerated on the next call. Guarded
+		// anyway — fail loudly rather than hand out a short slice or
+		// nil keys that callers would index out of range.
+		panic("crypto: key pool shorter than requested after fill")
 	}
 	out := make([]*rsa.PrivateKey, n)
 	copy(out, devPool.keys[:n])

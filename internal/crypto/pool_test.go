@@ -1,0 +1,81 @@
+package crypto
+
+import (
+	"sync"
+	"testing"
+
+	"spider/internal/ids"
+)
+
+// checkDistinctKeys asserts every key is present and no two nodes share
+// a modulus.
+func checkDistinctKeys(t *testing.T, suites map[ids.NodeID]Suite, nodes []ids.NodeID) {
+	t.Helper()
+	seen := make(map[string]ids.NodeID, len(nodes))
+	for _, n := range nodes {
+		s, ok := suites[n]
+		if !ok || s == nil {
+			t.Fatalf("node %v: missing suite", n)
+		}
+		rs, ok := s.(*rsaSuite)
+		if !ok {
+			t.Fatalf("node %v: suite is %T, want *rsaSuite", n, s)
+		}
+		if rs.priv == nil {
+			t.Fatalf("node %v: nil private key", n)
+		}
+		mod := rs.priv.N.String()
+		if prev, dup := seen[mod]; dup {
+			t.Fatalf("nodes %v and %v share a key", prev, n)
+		}
+		seen[mod] = n
+	}
+}
+
+// TestNewSuitesRSAKeysDistinct is the regression test for the devKeys
+// loop-variable capture bug: workers racing on one slot left nil keys
+// (panicking NewSuites) or duplicate keys in the pool.
+func TestNewSuitesRSAKeysDistinct(t *testing.T) {
+	nodes := make([]ids.NodeID, 24)
+	for i := range nodes {
+		nodes[i] = ids.NodeID(i + 1)
+	}
+	checkDistinctKeys(t, NewSuites(nodes, SuiteRSA), nodes)
+}
+
+// TestNewSuitesRSAConcurrent builds RSA suites from several goroutines
+// at once; every caller must observe complete, pairwise-distinct keys.
+func TestNewSuitesRSAConcurrent(t *testing.T) {
+	nodes := make([]ids.NodeID, 32)
+	for i := range nodes {
+		nodes[i] = ids.NodeID(i + 1)
+	}
+	const callers = 8
+	results := make([]map[ids.NodeID]Suite, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Vary n so concurrent calls hit both the cached and the
+			// generating paths.
+			results[c] = NewSuites(nodes[:16+2*c], SuiteRSA)
+		}(c)
+	}
+	wg.Wait()
+	for c, suites := range results {
+		checkDistinctKeys(t, suites, nodes[:16+2*c])
+	}
+}
+
+// TestDevKeysPrefixStable asserts repeated calls hand out the same keys
+// in slice order, which cross-call suite compatibility relies on.
+func TestDevKeysPrefixStable(t *testing.T) {
+	a := devKeys(8)
+	b := devKeys(4)
+	for i := range b {
+		if a[i] != b[i] {
+			t.Fatalf("key %d differs between calls", i)
+		}
+	}
+}

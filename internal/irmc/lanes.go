@@ -1,0 +1,76 @@
+package irmc
+
+import (
+	"spider/internal/crypto"
+	"spider/internal/ids"
+	"spider/internal/wire"
+)
+
+// OpenLanes admits an endpoint's inbound frames through the crypto
+// pipeline: one lane per peer, so each peer's frames are opened and
+// dispatched in arrival order while the signature checks of different
+// frames overlap across workers. Frames from unknown peers are
+// dropped before any crypto work. All three channel endpoints that do
+// public-key verification on inbound traffic share this helper.
+type OpenLanes struct {
+	cfg   Config
+	reg   *wire.Registry
+	lanes map[ids.NodeID]*crypto.Lane
+}
+
+// NewOpenLanes builds the lane set for the union of the given peer
+// groups.
+func NewOpenLanes(cfg Config, reg *wire.Registry, peerGroups ...[]ids.NodeID) *OpenLanes {
+	ol := &OpenLanes{
+		cfg:   cfg,
+		reg:   reg,
+		lanes: make(map[ids.NodeID]*crypto.Lane),
+	}
+	for _, group := range peerGroups {
+		for _, p := range group {
+			if _, ok := ol.lanes[p]; !ok {
+				ol.lanes[p] = cfg.Pipe().NewLane()
+			}
+		}
+	}
+	return ol
+}
+
+// Submit opens one frame on from's lane and hands the decoded message
+// to deliver, in per-peer submission order. verify, when non-nil, runs
+// extra CPU-bound checks on the decoded message while still on the
+// pipeline (share signatures, certificate share sets); a non-nil error
+// from Open or verify drops the frame. Both closures are wrapped in
+// the endpoint's CPU meter accounting.
+func (ol *OpenLanes) Submit(from ids.NodeID, payload []byte,
+	verify func(wire.TypeTag, wire.Message) error,
+	deliver func(wire.TypeTag, wire.Message)) {
+	lane := ol.lanes[from]
+	if lane == nil {
+		return // not a known peer
+	}
+	var (
+		tag wire.TypeTag
+		msg wire.Message
+	)
+	lane.Go(func() error {
+		stop := ol.cfg.Track()
+		defer stop()
+		var err error
+		tag, msg, err = Open(ol.cfg.Suite, ol.reg, from, payload)
+		if err != nil {
+			return err
+		}
+		if verify != nil {
+			return verify(tag, msg)
+		}
+		return nil
+	}, func(err error) {
+		if err != nil {
+			return
+		}
+		stop := ol.cfg.Track()
+		defer stop()
+		deliver(tag, msg)
+	})
+}

@@ -166,6 +166,12 @@ type Receiver struct {
 	cfg irmc.Config
 	reg *wire.Registry
 
+	// lanes run signature verification of inbound Send messages on
+	// the crypto pipeline, one lane per sender so each peer's frames
+	// are admitted in arrival order while the RSA checks of different
+	// messages overlap across cores.
+	lanes *irmc.OpenLanes
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
@@ -198,6 +204,7 @@ func NewReceiver(cfg irmc.Config) (*Receiver, error) {
 		reg:  irmc.NewRegistry(),
 		subs: make(map[ids.Subchannel]*recvSub),
 	}
+	r.lanes = irmc.NewOpenLanes(cfg, r.reg, cfg.Senders.Members)
 	r.cond = sync.NewCond(&r.mu)
 	cfg.Node.Handle(cfg.Stream, r.onFrame)
 	return r, nil
@@ -301,21 +308,14 @@ func (r *Receiver) Close() {
 }
 
 func (r *Receiver) onFrame(from ids.NodeID, payload []byte) {
-	stop := r.cfg.Track()
-	defer stop()
-	if !r.cfg.Senders.Contains(from) {
-		return
-	}
-	tag, msg, err := irmc.Open(r.cfg.Suite, r.reg, from, payload)
-	if err != nil {
-		return
-	}
-	switch tag {
-	case irmc.TagSend:
-		r.onSend(from, msg.(*irmc.SendMsg))
-	case irmc.TagMove:
-		r.onSenderMove(from, msg.(*irmc.MoveMsg))
-	}
+	r.lanes.Submit(from, payload, nil, func(tag wire.TypeTag, msg wire.Message) {
+		switch tag {
+		case irmc.TagSend:
+			r.onSend(from, msg.(*irmc.SendMsg))
+		case irmc.TagMove:
+			r.onSenderMove(from, msg.(*irmc.MoveMsg))
+		}
+	})
 }
 
 func (r *Receiver) onSend(from ids.NodeID, m *irmc.SendMsg) {

@@ -9,6 +9,7 @@
 package sc
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -23,11 +24,20 @@ const (
 	defaultCollectorTimeout = 500 * time.Millisecond
 )
 
+// errBadCertificate drops certificates lacking fs+1 valid shares.
+var errBadCertificate = errors.New("irmc-sc: certificate lacks f+1 valid shares")
+
 // Sender is the IRMC-SC sender endpoint.
 type Sender struct {
 	cfg irmc.Config
 	reg *wire.Registry
 	me  ids.NodeID
+
+	// lanes verify inbound traffic on the crypto pipeline, one lane
+	// per peer (share signatures from fellow senders are the CPU-heavy
+	// case) so admission order per peer is preserved while the RSA
+	// work spreads across cores.
+	lanes *irmc.OpenLanes
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -71,6 +81,7 @@ func NewSender(cfg irmc.Config) (*Sender, error) {
 		subs: make(map[ids.Subchannel]*senderSub),
 		done: make(chan struct{}),
 	}
+	s.lanes = irmc.NewOpenLanes(cfg, s.reg, cfg.Senders.Members, cfg.Receivers.Members)
 	s.cond = sync.NewCond(&s.mu)
 	cfg.Node.Handle(cfg.Stream, s.onFrame)
 	s.wg.Add(1)
@@ -197,35 +208,31 @@ func (s *Sender) Close() {
 }
 
 func (s *Sender) onFrame(from ids.NodeID, payload []byte) {
-	stop := s.cfg.Track()
-	defer stop()
 	fromSender := s.cfg.Senders.Contains(from)
 	fromReceiver := s.cfg.Receivers.Contains(from)
-	if !fromSender && !fromReceiver {
-		return
-	}
-	tag, msg, err := irmc.Open(s.cfg.Suite, s.reg, from, payload)
-	if err != nil {
-		return
-	}
-	switch {
-	case tag == irmc.TagSigShare && fromSender:
-		s.onShare(from, msg.(*irmc.SigShareMsg))
-	case tag == irmc.TagMove && fromReceiver:
-		s.onReceiverMove(from, msg.(*irmc.MoveMsg))
-	case tag == irmc.TagSelect && fromReceiver:
-		s.onSelect(from, msg.(*irmc.SelectMsg))
-	}
+	s.lanes.Submit(from, payload, func(tag wire.TypeTag, msg wire.Message) error {
+		if tag == irmc.TagSigShare && fromSender {
+			// Validate the transferable share signature before storing
+			// it; only valid shares may end up inside certificates.
+			m := msg.(*irmc.SigShareMsg)
+			return s.cfg.Suite.Verify(from, crypto.DomainIRMCShare,
+				irmc.SharePayload(m.Subchannel, m.Position, m.Digest), m.Sig)
+		}
+		return nil
+	}, func(tag wire.TypeTag, msg wire.Message) {
+		switch {
+		case tag == irmc.TagSigShare && fromSender:
+			s.onShare(from, msg.(*irmc.SigShareMsg))
+		case tag == irmc.TagMove && fromReceiver:
+			s.onReceiverMove(from, msg.(*irmc.MoveMsg))
+		case tag == irmc.TagSelect && fromReceiver:
+			s.onSelect(from, msg.(*irmc.SelectMsg))
+		}
+	})
 }
 
+// onShare stores a share signature already validated on the pipeline.
 func (s *Sender) onShare(from ids.NodeID, m *irmc.SigShareMsg) {
-	// Validate the transferable share signature before storing it;
-	// only valid shares may end up inside certificates.
-	if err := s.cfg.Suite.Verify(from, crypto.DomainIRMCShare,
-		irmc.SharePayload(m.Subchannel, m.Position, m.Digest), m.Sig); err != nil {
-		return
-	}
-
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -420,6 +427,10 @@ type Receiver struct {
 	reg *wire.Registry
 	me  ids.NodeID
 
+	// lanes verify inbound certificates (fs+1 share signatures each)
+	// on the crypto pipeline, one lane per sender.
+	lanes *irmc.OpenLanes
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
@@ -456,6 +467,7 @@ func NewReceiver(cfg irmc.Config) (*Receiver, error) {
 		subs: make(map[ids.Subchannel]*recvSub),
 		done: make(chan struct{}),
 	}
+	r.lanes = irmc.NewOpenLanes(cfg, r.reg, cfg.Senders.Members)
 	r.cond = sync.NewCond(&r.mu)
 	cfg.Node.Handle(cfg.Stream, r.onFrame)
 	r.wg.Add(1)
@@ -580,28 +592,32 @@ func (r *Receiver) Close() {
 }
 
 func (r *Receiver) onFrame(from ids.NodeID, payload []byte) {
-	stop := r.cfg.Track()
-	defer stop()
-	if !r.cfg.Senders.Contains(from) {
-		return
-	}
-	tag, msg, err := irmc.Open(r.cfg.Suite, r.reg, from, payload)
-	if err != nil {
-		return
-	}
-	switch tag {
-	case irmc.TagCertificate:
-		r.onCertificate(msg.(*irmc.CertificateMsg))
-	case irmc.TagProgress:
-		r.onProgress(from, msg.(*irmc.ProgressMsg))
-	case irmc.TagMove:
-		r.onSenderMove(from, msg.(*irmc.MoveMsg))
-	}
+	r.lanes.Submit(from, payload, func(tag wire.TypeTag, msg wire.Message) error {
+		if tag == irmc.TagCertificate {
+			// The certificate's fs+1 share signatures are the CPU-heavy
+			// part of admission; verify them on the pipeline too, so
+			// only validated certificates reach the endpoint lock.
+			if !r.verifyCertificate(msg.(*irmc.CertificateMsg)) {
+				return errBadCertificate
+			}
+		}
+		return nil
+	}, func(tag wire.TypeTag, msg wire.Message) {
+		switch tag {
+		case irmc.TagCertificate:
+			r.onCertificate(msg.(*irmc.CertificateMsg))
+		case irmc.TagProgress:
+			r.onProgress(from, msg.(*irmc.ProgressMsg))
+		case irmc.TagMove:
+			r.onSenderMove(from, msg.(*irmc.MoveMsg))
+		}
+	})
 }
 
-func (r *Receiver) onCertificate(m *irmc.CertificateMsg) {
-	// Verify outside the lock: fs+1 share signatures from distinct
-	// sender-group members over this exact payload.
+// verifyCertificate checks, without any lock held, that a certificate
+// carries fs+1 valid share signatures from distinct sender-group
+// members over its exact payload.
+func (r *Receiver) verifyCertificate(m *irmc.CertificateMsg) bool {
 	digest := crypto.Hash(m.Payload)
 	sharePayload := irmc.SharePayload(m.Subchannel, m.Position, digest)
 	voters := make(map[ids.NodeID]bool, len(m.Shares))
@@ -614,10 +630,12 @@ func (r *Receiver) onCertificate(m *irmc.CertificateMsg) {
 		}
 		voters[sh.Node] = true
 	}
-	if len(voters) < r.cfg.Senders.F+1 {
-		return
-	}
+	return len(voters) >= r.cfg.Senders.F+1
+}
 
+// onCertificate installs a certificate already validated on the
+// pipeline.
+func (r *Receiver) onCertificate(m *irmc.CertificateMsg) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
