@@ -4,8 +4,10 @@ GO ?= go
 
 .PHONY: check build vet test race bench tidy
 
-## check: what CI runs — build, vet, full test suite.
-check: build vet test
+## check: what CI runs — build, vet, full test suite, and the
+## concurrency-sensitive packages under the race detector (the MAC
+## authenticator lanes and certificate batches are race-prone surface).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -20,9 +22,10 @@ test:
 race:
 	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/...
 
-## bench: the RSA crypto-pipeline throughput benchmarks (serial vs parallel).
+## bench: agreement-throughput benchmarks — signature PBFT (serial vs
+## parallel pipeline) against the MAC-vector fast path.
 bench:
-	$(GO) test -run '^$$' -bench 'RSAThroughput|MicroPipelineRSA' -benchtime 2000x .
+	$(GO) test -run '^$$' -bench 'RSAThroughput|MACThroughput|MicroPipelineRSA' -benchtime 2000x .
 
 tidy:
 	$(GO) mod tidy

@@ -288,15 +288,16 @@ func BenchmarkAblationRealCrypto(b *testing.B) {
 
 // --- RSA-suite agreement throughput ------------------------------------------
 
-// benchPBFTRSAThroughput measures raw agreement throughput of one
-// 4-replica PBFT group with RSA-1024 signatures over a zero-latency
+// benchPBFTThroughput measures raw agreement throughput of one
+// 4-replica PBFT group with the RSA-1024 suite over a zero-latency
 // in-process network, so CPU-bound crypto — not the WAN — is the
 // bottleneck. pipe selects the crypto execution mode: the serial
 // pipeline reproduces the old inline behavior (signing under the
 // replica lock, verification on the transport goroutines); the default
-// pipeline fans both out across cores. flows is the number of
-// concurrent submitters.
-func benchPBFTRSAThroughput(b *testing.B, pipe *crypto.Pipeline, flows int) {
+// pipeline fans both out across cores. auth selects signature-PBFT or
+// the MAC-vector fast path. flows is the number of concurrent
+// submitters.
+func benchPBFTThroughput(b *testing.B, pipe *crypto.Pipeline, flows int, auth pbft.AuthMode) {
 	nodes := []ids.NodeID{1, 2, 3, 4}
 	group := ids.Group{ID: 1, Members: nodes, F: 1}
 	suites := crypto.NewSuites(nodes, crypto.SuiteRSA)
@@ -317,6 +318,7 @@ func benchPBFTRSAThroughput(b *testing.B, pipe *crypto.Pipeline, flows int) {
 			BatchSize:      8,
 			RequestTimeout: time.Minute, // saturation is not a faulty leader
 			Pipeline:       pipe,
+			NormalCaseAuth: auth,
 			Deliver: func(s ids.SeqNr, p []byte) {
 				if counting && delivered.Add(1) == target {
 					close(done)
@@ -368,19 +370,32 @@ func benchPBFTRSAThroughput(b *testing.B, pipe *crypto.Pipeline, flows int) {
 }
 
 func BenchmarkRSAThroughputSerialSingleFlow(b *testing.B) {
-	benchPBFTRSAThroughput(b, crypto.SerialPipeline(), 1)
+	benchPBFTThroughput(b, crypto.SerialPipeline(), 1, pbft.AuthSignatures)
 }
 
 func BenchmarkRSAThroughputPipelineSingleFlow(b *testing.B) {
-	benchPBFTRSAThroughput(b, crypto.DefaultPipeline(), 1)
+	benchPBFTThroughput(b, crypto.DefaultPipeline(), 1, pbft.AuthSignatures)
 }
 
 func BenchmarkRSAThroughputSerial64Clients(b *testing.B) {
-	benchPBFTRSAThroughput(b, crypto.SerialPipeline(), 64)
+	benchPBFTThroughput(b, crypto.SerialPipeline(), 64, pbft.AuthSignatures)
 }
 
 func BenchmarkRSAThroughputPipeline64Clients(b *testing.B) {
-	benchPBFTRSAThroughput(b, crypto.DefaultPipeline(), 64)
+	benchPBFTThroughput(b, crypto.DefaultPipeline(), 64, pbft.AuthSignatures)
+}
+
+// The MAC-vector fast path on the same RSA suite: prepare/commit carry
+// HMAC vectors, only pre-prepare and checkpoint signing remains on the
+// hot path. Compare against RSAThroughputSerial* for the paper's
+// agreement-cluster optimisation (acceptance: ≥1.5× single-flow even
+// on one core, where it cannot hide behind parallelism).
+func BenchmarkMACThroughputSingleFlow(b *testing.B) {
+	benchPBFTThroughput(b, crypto.DefaultPipeline(), 1, pbft.AuthMACVector)
+}
+
+func BenchmarkMACThroughput64Clients(b *testing.B) {
+	benchPBFTThroughput(b, crypto.DefaultPipeline(), 64, pbft.AuthMACVector)
 }
 
 // --- micro benchmarks ----------------------------------------------------------------

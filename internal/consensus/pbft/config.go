@@ -80,6 +80,34 @@ func NewWheatQuorum(group ids.Group, delta int, vmax []ids.NodeID) (WeightedQuor
 	return WeightedQuorum{Weights: weights, Need: 2*float64(f)*wmax + 1}, nil
 }
 
+// AuthMode selects how normal-case messages are authenticated.
+type AuthMode int
+
+// Authentication modes.
+const (
+	// AuthMACVector is the paper's agreement-cluster optimisation and
+	// the default: prepare and commit carry one HMAC per group member
+	// instead of a signature, removing almost all public-key work from
+	// the ordering hot path. Pre-prepare, checkpoint, view-change,
+	// new-view and catch-up messages stay signed because they (or the
+	// certificates built from them) must remain transferable, and the
+	// view-change entry path re-issues signed prepare votes so prepared
+	// proofs stay signature-based exactly as in signature mode.
+	AuthMACVector AuthMode = iota
+	// AuthSignatures signs every protocol message: the classic
+	// signature-PBFT variant. Simpler to reason about and required when
+	// group members do not share pairwise MAC keys.
+	AuthSignatures
+)
+
+// String names the mode.
+func (m AuthMode) String() string {
+	if m == AuthSignatures {
+		return "signatures"
+	}
+	return "mac-vector"
+}
+
 // Config parameterizes a PBFT replica.
 type Config struct {
 	// Group is the consensus group; classic PBFT needs 3f+1 members.
@@ -97,6 +125,11 @@ type Config struct {
 	Validate consensus.ValidateFunc
 	// Policy decides quorums; nil means classic 2f+1 counting.
 	Policy QuorumPolicy
+	// NormalCaseAuth selects signature or MAC-vector authentication
+	// for prepare and commit; the zero value is AuthMACVector (the
+	// paper's fast path). Inbound messages of either kind are always
+	// accepted, so mixed groups interoperate during a mode migration.
+	NormalCaseAuth AuthMode
 
 	// BatchSize caps payloads per consensus instance.
 	BatchSize int

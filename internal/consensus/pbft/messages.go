@@ -11,9 +11,13 @@
 // baseline, and — parameterized with a weighted quorum policy — the
 // "BFT-WV" baseline.
 //
-// All protocol messages are signed (the signature-based PBFT variant);
-// the original's MAC-based fast path is a known optimisation that does
-// not change message flow, which is what the evaluation measures.
+// Normal-case messages support two authentication modes (Config.
+// NormalCaseAuth): the signature-based variant signs everything, while
+// the MAC-vector fast path — the original paper's optimisation —
+// authenticates prepare and commit with per-member HMAC vectors and
+// reserves signatures for the messages that must remain transferable:
+// pre-prepare, checkpoint, view change, new view, and anything embedded
+// in a certificate. Neither mode changes the message flow.
 package pbft
 
 import (
@@ -32,6 +36,7 @@ const (
 	tagNewView
 	tagStatusRequest
 	tagStatusReply
+	tagVoteRequest
 )
 
 // registry decodes the envelope bodies exchanged between replicas.
@@ -45,30 +50,48 @@ var registry = func() *wire.Registry {
 	r.Register(tagNewView, "new-view", func() wire.Message { return new(newView) })
 	r.Register(tagStatusRequest, "status-request", func() wire.Message { return new(statusRequest) })
 	r.Register(tagStatusReply, "status-reply", func() wire.Message { return new(statusReply) })
+	r.Register(tagVoteRequest, "vote-request", func() wire.Message { return new(voteRequest) })
 	return r
 }()
 
-// signedRaw is a transferable authenticated message: the encoded frame
-// (tag + body) together with the signer and signature over the frame.
-// Storing the raw bytes rather than the decoded struct lets proofs
-// (prepared certificates, checkpoint certificates, view-change sets)
-// be embedded in other messages and re-verified by third parties.
+// signedRaw is an authenticated message envelope: the encoded frame
+// (tag + body) together with the sender and either a signature or a
+// MAC vector over the frame. Storing the raw bytes rather than the
+// decoded struct lets proofs (prepared certificates, checkpoint
+// certificates, view-change sets) be embedded in other messages and
+// re-verified downstream.
+//
+// A signature makes the raw transferable: any third party can
+// re-verify it, so only signed raws may contribute to prepared proofs,
+// checkpoint certificates and view-change quorums. A MAC vector is
+// evidence to its direct verifier only — each group member checks just
+// its own entry — but because the vector carries an entry for every
+// member, a relayed MAC raw (a commit certificate in a status reply)
+// still convinces any group member that verifies its own entry: the
+// relayer cannot forge entries for pairs it does not belong to.
 type signedRaw struct {
-	From  ids.NodeID
-	Frame []byte
-	Sig   []byte
+	From   ids.NodeID
+	Frame  []byte
+	Sig    []byte
+	MACVec [][]byte
 }
+
+// transferable reports whether this raw may be embedded in a proof
+// that third parties must re-verify.
+func (s *signedRaw) transferable() bool { return len(s.Sig) > 0 }
 
 func (s *signedRaw) MarshalWire(w *wire.Writer) {
 	w.WriteNode(s.From)
 	w.WriteBytes(s.Frame)
 	w.WriteBytes(s.Sig)
+	w.WriteBytesList(s.MACVec)
 }
 
 func (s *signedRaw) UnmarshalWire(r *wire.Reader) {
 	s.From = r.ReadNode()
 	s.Frame = r.ReadBytes()
 	s.Sig = r.ReadBytes()
+	s.MACVec = r.ReadBytesList()
 }
 
 func writeRawSlice(w *wire.Writer, raws []signedRaw) {
@@ -275,6 +298,37 @@ func (m *newView) UnmarshalWire(r *wire.Reader) {
 	m.View = r.ReadUint64()
 	m.ViewChanges = readRawSlice(r)
 	m.PrePrepares = readRawSlice(r)
+}
+
+// Vote kinds a voteRequest may ask for.
+const (
+	voteKindPrepare uint8 = iota + 1
+	voteKindCommit
+)
+
+// voteRequest asks a peer to re-issue one of its normal-case votes as
+// a signed message. It is the MAC fast path's fallback: a receiver
+// that cannot verify a MAC-vector entry (corrupted, truncated, or
+// replayed under the wrong view) drops the frame and requests a signed
+// copy instead of stalling, and the view-change proof-upgrade round
+// uses the same re-issued votes to rebuild transferable prepared
+// proofs from MAC-authenticated state.
+type voteRequest struct {
+	Kind uint8
+	View uint64
+	Seq  uint64
+}
+
+func (m *voteRequest) MarshalWire(w *wire.Writer) {
+	w.WriteU8(m.Kind)
+	w.WriteUint64(m.View)
+	w.WriteUint64(m.Seq)
+}
+
+func (m *voteRequest) UnmarshalWire(r *wire.Reader) {
+	m.Kind = r.ReadU8()
+	m.View = r.ReadUint64()
+	m.Seq = r.ReadUint64()
 }
 
 // statusRequest asks peers for catch-up help: the sender has delivered

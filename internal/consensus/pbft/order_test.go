@@ -42,7 +42,7 @@ func TestAsyncVerifyPreservesSenderOrder(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var got []event
-	r.dispatchHook = func(from ids.NodeID, tag wire.TypeTag, msg wire.Message) {
+	r.dispatchHook = func(from ids.NodeID, tag wire.TypeTag, msg wire.Message, _ *signedRaw) {
 		var seq uint64
 		switch m := msg.(type) {
 		case *prepare:
@@ -127,7 +127,7 @@ func TestAsyncVerifyRejectsBadSignatures(t *testing.T) {
 	}
 	var mu sync.Mutex
 	dispatched := 0
-	r.dispatchHook = func(ids.NodeID, wire.TypeTag, wire.Message) {
+	r.dispatchHook = func(ids.NodeID, wire.TypeTag, wire.Message, *signedRaw) {
 		mu.Lock()
 		dispatched++
 		mu.Unlock()

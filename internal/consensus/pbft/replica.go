@@ -123,6 +123,22 @@ type Replica struct {
 	lastStatusReq time.Time
 	batchTimerOn  bool
 
+	// View-change emission state for the MAC fast path: after entering
+	// a view change the replica may briefly hold its view-change
+	// message back (vcHold) while the proof-upgrade round replaces
+	// MAC-authenticated prepare votes with signed re-votes, so the
+	// message can carry transferable prepared proofs. vcSent marks the
+	// message for vcTarget as emitted.
+	vcSent bool
+	vcHold time.Time
+
+	// voteReqAt rate-limits signed-vote fallback requests per peer;
+	// voteAnsAt rate-limits the answers, so a replayed (validly
+	// signed) voteRequest envelope cannot buy unbounded signing work
+	// under the replica lock.
+	voteReqAt map[ids.NodeID]time.Time
+	voteAnsAt map[ids.NodeID]time.Time
+
 	// Delivery progress tracking for stuck detection.
 	progressSeq uint64
 	progressAt  time.Time
@@ -140,9 +156,17 @@ type Replica struct {
 	signLane  *crypto.Lane
 	stopFlag  atomic.Bool
 
+	// Authenticators: sigAuth signs (always used for messages that may
+	// land in proofs), macAuth produces/checks MAC vectors over the
+	// group, and normalAuth is whichever of the two the configured
+	// NormalCaseAuth selects for prepare/commit.
+	sigAuth    crypto.GroupAuthenticator
+	macAuth    crypto.GroupAuthenticator
+	normalAuth crypto.GroupAuthenticator
+
 	// dispatchHook, when set by tests, observes every verified frame
 	// in dispatch order (called with r.mu held).
-	dispatchHook func(from ids.NodeID, tag wire.TypeTag, msg wire.Message)
+	dispatchHook func(from ids.NodeID, tag wire.TypeTag, msg wire.Message, raw *signedRaw)
 }
 
 var _ consensus.Agreement = (*Replica)(nil)
@@ -175,14 +199,26 @@ func New(cfg Config) (*Replica, error) {
 		curTimeout:   cfg.RequestTimeout,
 		done:         make(chan struct{}),
 		recvLanes:    make(map[ids.NodeID]*crypto.Lane, len(cfg.Group.Members)),
+		voteReqAt:    make(map[ids.NodeID]time.Time),
+		voteAnsAt:    make(map[ids.NodeID]time.Time),
 	}
 	for _, m := range cfg.Group.Members {
 		r.recvLanes[m] = cfg.Pipeline.NewLane()
 	}
 	r.signLane = cfg.Pipeline.NewLane()
+	r.sigAuth = crypto.NewSignatureAuthenticator(cfg.Suite, crypto.DomainPBFT)
+	r.macAuth = crypto.NewMACVectorAuthenticator(cfg.Suite, cfg.Group.Members, crypto.DomainPBFT)
+	if cfg.NormalCaseAuth == AuthSignatures {
+		r.normalAuth = r.sigAuth
+	} else {
+		r.normalAuth = r.macAuth
+	}
 	r.cond = sync.NewCond(&r.mu)
 	return r, nil
 }
+
+// macMode reports whether normal-case messages use the MAC fast path.
+func (r *Replica) macMode() bool { return r.cfg.NormalCaseAuth != AuthSignatures }
 
 // Start implements consensus.Agreement.
 func (r *Replica) Start() {
@@ -297,7 +333,9 @@ func (r *Replica) multicastLocked(env []byte) {
 	r.cfg.Node.Multicast(r.cfg.Group.Members, r.cfg.Stream, env)
 }
 
-// verifyRaw checks an embedded or top-level signed message.
+// verifyRaw checks an embedded or top-level signed message. Only
+// signature-authenticated raws pass: this is the check used wherever a
+// raw must be transferable.
 func (r *Replica) verifyRaw(raw *signedRaw) error {
 	if !r.cfg.Group.Contains(raw.From) {
 		return fmt.Errorf("pbft: signer %v not in group", raw.From)
@@ -305,66 +343,168 @@ func (r *Replica) verifyRaw(raw *signedRaw) error {
 	return r.cfg.Suite.Verify(raw.From, crypto.DomainPBFT, raw.Frame, raw.Sig)
 }
 
+// verifyAuthRaw checks a raw of either authentication kind: the
+// signature when present (it takes precedence so the raw stays
+// transferable), this replica's MAC-vector entry otherwise.
+func (r *Replica) verifyAuthRaw(raw *signedRaw) error {
+	if !r.cfg.Group.Contains(raw.From) {
+		return fmt.Errorf("pbft: sender %v not in group", raw.From)
+	}
+	if len(raw.Sig) > 0 {
+		return r.sigAuth.Verify(raw.From, raw.Frame, raw.Sig, nil)
+	}
+	if len(raw.MACVec) > 0 {
+		return r.macAuth.Verify(raw.From, raw.Frame, nil, raw.MACVec)
+	}
+	return fmt.Errorf("pbft: unauthenticated frame from %v", raw.From)
+}
+
+// inbound carries one verified frame to dispatch, together with
+// everything the crypto pipeline precomputed for it off the replica
+// lock (payload validation and certificate verdicts).
+type inbound struct {
+	from      ids.NodeID
+	tag       wire.TypeTag
+	msg       wire.Message
+	raw       signedRaw
+	env       []byte
+	valErr    error          // tagPrePrepare: payload validation result
+	validated bool           // tagPrePrepare: payloads were validated
+	sv        *statusVerdict // tagStatusReply: certificate verdicts
+	vcOK      bool           // tagViewChange: evidence verified
+	nv        *nvVerdict     // tagNewView: quorum + reissue plan
+}
+
 // onFrame is the transport handler for all PBFT traffic. It only
-// decodes the envelope; signature verification, frame decoding and
-// payload validation run on the crypto pipeline so the transport
-// goroutine is never blocked on public-key operations. The per-sender
-// lane guarantees frames of one peer reach dispatch in arrival order.
+// decodes the envelope; authentication, frame decoding, payload
+// validation and certificate verification run on the crypto pipeline
+// so the transport goroutine and the replica lock are never blocked on
+// crypto. The per-sender lane guarantees frames of one peer reach
+// dispatch in arrival order.
 func (r *Replica) onFrame(from ids.NodeID, payload []byte) {
 	var raw signedRaw
 	if err := wire.Decode(payload, &raw); err != nil {
 		return
 	}
 	if raw.From != from {
-		return // transport identity must match the claimed signer
+		return // transport identity must match the claimed sender
 	}
 	lane := r.recvLanes[from]
 	if lane == nil {
 		return // not a group member
 	}
-	var (
-		tag       wire.TypeTag
-		msg       wire.Message
-		valErr    error
-		validated bool
-	)
+	in := &inbound{from: from, raw: raw, env: payload}
+	var fallback *voteRequest
 	lane.Go(func() error {
 		if from != r.me {
-			if err := r.verifyRaw(&raw); err != nil {
+			if err := r.verifyAuthRaw(&in.raw); err != nil {
+				// A bad MAC-vector entry on a normal-case vote gets the
+				// fallback treatment: drop the frame but ask the peer
+				// for a signed copy, so a correct sender whose vector
+				// was corrupted in transit (or a receiver targeted by a
+				// selectively garbled vector) recovers instead of
+				// stalling the quorum.
+				if len(in.raw.Sig) == 0 && len(in.raw.MACVec) > 0 {
+					fallback = fallbackRequest(in.raw.Frame)
+				}
 				return err
 			}
 		}
 		var err error
-		tag, msg, err = registry.DecodeFrame(raw.Frame)
+		in.tag, in.msg, err = registry.DecodeFrame(in.raw.Frame)
 		if err != nil {
 			return err
 		}
-		if tag == tagPrePrepare && from != r.me && r.cfg.Validate != nil {
-			// A-Validity runs here too: client-request signature checks
-			// are as CPU-bound as the envelope signature and must not
-			// run under the replica lock. Gated on the same cheap
-			// acceptance checks the handler applies, so duplicate or
-			// out-of-window pre-prepares cannot buy batch-sized
-			// validation work on the shared pool (the handler falls
-			// back to inline validation for the rare frame that becomes
-			// acceptable between this check and dispatch).
-			if pp := msg.(*prePrepare); r.wouldAcceptPrePrepare(from, pp) {
-				validated = true
-				for _, p := range pp.Payloads {
-					if err := r.cfg.Validate(p); err != nil {
-						valErr = err
-						break
+		if !in.raw.transferable() && from != r.me && in.tag != tagPrepare && in.tag != tagCommit {
+			// MAC vectors authenticate the normal-case fast path only;
+			// everything else must stay signed so it can serve in
+			// certificates and proofs.
+			return fmt.Errorf("pbft: %v from %v must be signed", in.tag, from)
+		}
+		switch in.tag {
+		case tagPrePrepare:
+			if from != r.me && r.cfg.Validate != nil {
+				// A-Validity runs here too: client-request signature
+				// checks are as CPU-bound as the envelope signature and
+				// must not run under the replica lock. Gated on the
+				// same cheap acceptance checks the handler applies, so
+				// duplicate or out-of-window pre-prepares cannot buy
+				// batch-sized validation work on the shared pool (the
+				// handler falls back to inline validation for the rare
+				// frame that becomes acceptable between this check and
+				// dispatch).
+				if pp := in.msg.(*prePrepare); r.wouldAcceptPrePrepare(from, pp) {
+					in.validated = true
+					for _, p := range pp.Payloads {
+						if err := r.cfg.Validate(p); err != nil {
+							in.valErr = err
+							break
+						}
 					}
 				}
+			}
+		case tagStatusReply:
+			in.sv = r.verifyStatusReply(in.msg.(*statusReply))
+		case tagViewChange:
+			// Stale or duplicate view changes are dropped at dispatch
+			// anyway; checking first keeps a replayed signed envelope
+			// from buying certificate-sized verification work.
+			vc := in.msg.(*viewChange)
+			in.vcOK = !r.staleViewChange(from, vc) && r.verifyViewChange(vc)
+		case tagNewView:
+			if nv := in.msg.(*newView); !r.staleNewView(nv) {
+				in.nv = r.verifyNewView(from, nv)
 			}
 		}
 		return nil
 	}, func(err error) {
 		if err != nil {
+			if fallback != nil {
+				r.requestSignedVote(from, fallback)
+			}
 			return
 		}
-		r.dispatch(from, tag, msg, raw, payload, valErr, validated)
+		r.dispatch(in)
 	})
+}
+
+// fallbackRequest builds the signed-copy request for an unverifiable
+// MAC-authenticated frame, if the frame decodes to a normal-case vote.
+// The decoded content is unauthenticated, so the request carries only
+// coordinates; the peer answers from its own state.
+func fallbackRequest(frame []byte) *voteRequest {
+	tag, msg, err := registry.DecodeFrame(frame)
+	if err != nil {
+		return nil
+	}
+	switch m := msg.(type) {
+	case *prepare:
+		if tag == tagPrepare {
+			return &voteRequest{Kind: voteKindPrepare, View: m.View, Seq: m.Seq}
+		}
+	case *commit:
+		if tag == tagCommit {
+			return &voteRequest{Kind: voteKindCommit, View: m.View, Seq: m.Seq}
+		}
+	}
+	return nil
+}
+
+// requestSignedVote asks from to re-issue a vote as a signed message,
+// rate limited per peer so a flood of garbled frames cannot buy
+// signing work.
+func (r *Replica) requestSignedVote(from ids.NodeID, req *voteRequest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped || !r.started || from == r.me {
+		return
+	}
+	if time.Since(r.voteReqAt[from]) < 200*time.Millisecond {
+		return
+	}
+	r.voteReqAt[from] = time.Now()
+	env, _ := r.sealLocked(tagVoteRequest, req)
+	r.cfg.Node.Send(from, r.cfg.Stream, env)
 }
 
 // wouldAcceptPrePrepare mirrors handlePrePrepareLocked's cheap drop
@@ -386,52 +526,53 @@ func (r *Replica) wouldAcceptPrePrepare(from ids.NodeID, pp *prePrepare) bool {
 }
 
 // dispatch routes one verified frame to its handler.
-func (r *Replica) dispatch(from ids.NodeID, tag wire.TypeTag, msg wire.Message, raw signedRaw, payload []byte, valErr error, validated bool) {
+func (r *Replica) dispatch(in *inbound) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stopped || !r.started {
 		return
 	}
 	if r.dispatchHook != nil {
-		r.dispatchHook(from, tag, msg)
+		r.dispatchHook(in.from, in.tag, in.msg, &in.raw)
 	}
-	switch tag {
+	switch in.tag {
 	case tagPrePrepare:
-		r.handlePrePrepareLocked(from, msg.(*prePrepare), raw, valErr, validated)
+		r.handlePrePrepareLocked(in.from, in.msg.(*prePrepare), in.raw, in.valErr, in.validated)
 	case tagPrepare:
-		r.handlePrepareLocked(from, msg.(*prepare), raw)
+		r.handlePrepareLocked(in.from, in.msg.(*prepare), in.raw)
 	case tagCommit:
-		r.handleCommitLocked(from, msg.(*commit), raw)
+		r.handleCommitLocked(in.from, in.msg.(*commit), in.raw)
 	case tagCheckpoint:
-		r.handleCheckpointLocked(from, msg.(*checkpointMsg), raw)
+		r.handleCheckpointLocked(in.from, in.msg.(*checkpointMsg), in.raw)
 	case tagViewChange:
-		r.handleViewChangeLocked(from, msg.(*viewChange), raw)
+		r.handleViewChangeLocked(in.from, in.msg.(*viewChange), in.raw, in.vcOK)
 	case tagNewView:
-		r.handleNewViewLocked(from, msg.(*newView), payload)
+		r.handleNewViewLocked(in.from, in.msg.(*newView), in.nv, in.env)
 	case tagStatusRequest:
-		r.handleStatusRequestLocked(from, msg.(*statusRequest))
+		r.handleStatusRequestLocked(in.from, in.msg.(*statusRequest))
 	case tagStatusReply:
-		r.handleStatusReplyLocked(msg.(*statusReply))
+		r.handleStatusReplyLocked(in.msg.(*statusReply), in.sv)
+	case tagVoteRequest:
+		r.handleVoteRequestLocked(in.from, in.msg.(*voteRequest))
 	}
 }
 
-// signMulticastLocked signs m on the crypto pipeline and multicasts the
-// envelope once the signature is ready. The signing lane preserves
-// submission order, so peers observe this replica's messages in the
-// order its protocol logic produced them even though signing happens
-// off the replica lock. Used for the high-rate normal-case messages
-// (prepare, commit, checkpoint) whose raws need not be stored locally;
-// messages that must be retained as transferable proofs (pre-prepare,
-// view change, new view) keep synchronous sealing.
-func (r *Replica) signMulticastLocked(tag wire.TypeTag, m wire.Marshaler) {
+// authMulticastLocked authenticates m with the given authenticator on
+// the crypto pipeline and multicasts the envelope once the material is
+// ready. The signing lane preserves submission order, so peers observe
+// this replica's messages in the order its protocol logic produced
+// them even though the crypto happens off the replica lock. Used for
+// the high-rate normal-case messages (prepare, commit — signed or
+// MAC-vector authenticated per NormalCaseAuth) and for checkpoints
+// (always signed, they form certificates); messages whose raws must be
+// stored synchronously (pre-prepare, view change, new view) keep
+// synchronous sealing.
+func (r *Replica) authMulticastLocked(tag wire.TypeTag, m wire.Marshaler, auth crypto.GroupAuthenticator) {
 	frame := registry.EncodeFrame(tag, m)
 	var env []byte
 	r.signLane.Go(func() error {
-		raw := signedRaw{
-			From:  r.me,
-			Frame: frame,
-			Sig:   r.cfg.Suite.Sign(crypto.DomainPBFT, frame),
-		}
+		sig, vec := auth.Authenticate(frame)
+		raw := signedRaw{From: r.me, Frame: frame, Sig: sig, MACVec: vec}
 		env = wire.Encode(&raw)
 		return nil
 	}, func(error) {
@@ -590,49 +731,114 @@ func (r *Replica) handlePrePrepareLocked(from ids.NodeID, pp *prePrepare, raw si
 	}
 	if from != r.me && !e.sentPrepare {
 		e.sentPrepare = true
-		r.signMulticastLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
+		r.authMulticastLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest}, r.normalAuth)
 	}
 	r.checkPreparedLocked(e)
 	r.checkCommittedLocked(e)
 }
 
 func (r *Replica) handlePrepareLocked(from ids.NodeID, p *prepare, raw signedRaw) {
-	if r.inVC || p.View != r.view || p.Seq <= r.lowWM || p.Seq < r.nextDeliver {
+	if p.Seq <= r.lowWM {
 		return
+	}
+	signed := raw.transferable()
+	if !signed && (r.inVC || p.View != r.view || p.Seq < r.nextDeliver) {
+		return // MAC votes serve only the live view's fast path
 	}
 	if from == r.cfg.leaderOf(p.View) {
 		return // the proposer's pre-prepare is its prepare vote
 	}
+	if signed {
+		// Signed votes — re-votes from the proof-upgrade round or
+		// fallback answers — bind to the entry they certify rather
+		// than the live view, and are accepted even for delivered
+		// batches still in the log: their prepared proofs may be
+		// needed by the next view change.
+		if e, ok := r.log[p.Seq]; ok && e.havePP {
+			if p.View != e.view {
+				return
+			}
+		} else if r.inVC || p.View != r.view || p.Seq < r.nextDeliver {
+			return
+		}
+	}
 	e := r.entryLocked(p.Seq)
-	if _, dup := e.prepareVotes[from]; dup {
-		return
+	if cur, dup := e.prepareVotes[from]; dup {
+		// One vote per node, except that a signed re-vote for the same
+		// (view, digest) upgrades a MAC vote into a transferable one.
+		if !signed || cur.raw.transferable() || cur.view != p.View || cur.digest != p.Digest {
+			return
+		}
 	}
 	e.prepareVotes[from] = voteRaw{view: p.View, digest: p.Digest, raw: raw}
 	r.checkPreparedLocked(e)
 }
 
 func (r *Replica) checkPreparedLocked(e *entry) {
-	if !e.havePP || e.prepared {
+	if !e.havePP {
 		return
 	}
 	voters := map[ids.NodeID]bool{r.cfg.leaderOf(e.view): true}
-	var raws []signedRaw
+	var sigRaws []signedRaw
 	for node, v := range e.prepareVotes {
 		if v.view == e.view && v.digest == e.digest {
 			voters[node] = true
-			raws = append(raws, v.raw)
+			if v.raw.transferable() {
+				sigRaws = append(sigRaws, v.raw)
+			}
 		}
 	}
-	if !r.cfg.Policy.IsQuorum(voters) {
+	if !e.prepared && !r.cfg.Policy.IsQuorum(voters) {
 		return
 	}
+	first := !e.prepared
 	e.prepared = true
-	e.preparedRaws = raws
-	if !e.sentCommit {
-		e.sentCommit = true
-		r.signMulticastLocked(tagCommit, &commit{View: e.view, Seq: e.seq, Digest: e.digest})
+	// Only signed votes survive into the prepared proof: MAC votes are
+	// not transferable, so under the MAC fast path this set usually
+	// stays empty until the view-change proof-upgrade round re-issues
+	// the votes with signatures.
+	e.preparedRaws = sigRaws
+	if first {
+		if !e.sentCommit {
+			e.sentCommit = true
+			r.authMulticastLocked(tagCommit, &commit{View: e.view, Seq: e.seq, Digest: e.digest}, r.normalAuth)
+		}
+		r.checkCommittedLocked(e)
 	}
-	r.checkCommittedLocked(e)
+	if r.inVC && !r.vcSent {
+		// A late signed re-vote may have completed the transferable
+		// proofs the pending view-change message is holding for.
+		r.maybeEmitViewChangeLocked()
+	}
+}
+
+// handleVoteRequestLocked answers a peer's request to re-issue one of
+// this replica's normal-case votes as a signed message (the MAC fast
+// path's fallback). The reply is unicast: only the requester saw the
+// unverifiable frame.
+func (r *Replica) handleVoteRequestLocked(from ids.NodeID, vr *voteRequest) {
+	e, ok := r.log[vr.Seq]
+	if !ok || !e.havePP || e.view != vr.View {
+		return
+	}
+	if time.Since(r.voteAnsAt[from]) < 100*time.Millisecond {
+		return // replay protection: bounded signing work per peer
+	}
+	r.voteAnsAt[from] = time.Now()
+	switch vr.Kind {
+	case voteKindPrepare:
+		if !e.sentPrepare || r.me == r.cfg.leaderOf(e.view) {
+			return
+		}
+		env, _ := r.sealLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
+		r.cfg.Node.Send(from, r.cfg.Stream, env)
+	case voteKindCommit:
+		if !e.sentCommit {
+			return
+		}
+		env, _ := r.sealLocked(tagCommit, &commit{View: e.view, Seq: e.seq, Digest: e.digest})
+		r.cfg.Node.Send(from, r.cfg.Stream, env)
+	}
 }
 
 func (r *Replica) handleCommitLocked(from ids.NodeID, c *commit, raw signedRaw) {
@@ -715,8 +921,11 @@ func (r *Replica) deliveryLoop() {
 		batchSeq := e.seq
 
 		if batchSeq%uint64(r.cfg.CheckpointInterval) == 0 {
+			// Checkpoints stay signed in both modes: a quorum of them
+			// is a stable-checkpoint certificate that travels inside
+			// view-change messages and status replies.
 			msg := &checkpointMsg{BatchSeq: batchSeq, GlobalSeq: r.nextGlobal - 1, Chain: r.chain}
-			r.signMulticastLocked(tagCheckpoint, msg)
+			r.authMulticastLocked(tagCheckpoint, msg, r.sigAuth)
 		}
 		// A committed successor may already be waiting.
 		r.cond.Broadcast()
@@ -906,103 +1115,238 @@ func (r *Replica) handleStatusRequestLocked(from ids.NodeID, req *statusRequest)
 	r.cfg.Node.Send(from, r.cfg.Stream, env)
 }
 
-func (r *Replica) handleStatusReplyLocked(reply *statusReply) {
-	if len(reply.NewViewEnv) > 0 {
-		r.processRelayedNewViewLocked(reply.NewViewEnv)
-	}
-	if reply.StableBatch > r.lowWM {
-		if r.verifyCheckpointProofLocked(reply.StableBatch, reply.StableGlobal, reply.StableChain, reply.StableProof) {
-			r.stabilizeLocked(reply.StableBatch, reply.StableGlobal, reply.StableChain, reply.StableProof)
-		}
+// statusVerdict carries the certificate verdicts the crypto pipeline
+// precomputed for one status reply, so the replica lock only pays for
+// state updates, never for signature loops (ROADMAP: batch
+// verification of checkpoint and commit certificates).
+type statusVerdict struct {
+	stableOK bool
+	entries  []commitCertVerdict
+	// Relayed new-view envelope, pre-verified like a direct one.
+	nvFrom ids.NodeID
+	nvMsg  *newView
+	nv     *nvVerdict
+}
+
+// commitCertVerdict is the precomputed verdict for one committedEntry.
+type commitCertVerdict struct {
+	pp     *prePrepare
+	digest crypto.Digest
+	ok     bool
+}
+
+// verifyStatusReply runs every certificate in a status reply through
+// the crypto pipeline, off the replica lock. A snapshot of the
+// watermarks skips work that cannot matter; the handlers re-check all
+// state-dependent conditions at dispatch time, so a stale snapshot can
+// only cost a retry, never correctness.
+func (r *Replica) verifyStatusReply(reply *statusReply) *statusVerdict {
+	r.mu.Lock()
+	lowWM, nextDeliver, view := r.lowWM, r.nextDeliver, r.view
+	r.mu.Unlock()
+
+	v := &statusVerdict{entries: make([]commitCertVerdict, len(reply.Entries))}
+	if reply.StableBatch > lowWM {
+		v.stableOK = r.verifyCheckpointProof(reply.StableBatch, reply.StableGlobal, reply.StableChain, reply.StableProof)
 	}
 	for i := range reply.Entries {
-		r.installCommittedEntryLocked(&reply.Entries[i])
+		v.entries[i] = r.verifyCommitCert(&reply.Entries[i], lowWM, nextDeliver)
+	}
+	if len(reply.NewViewEnv) > 0 {
+		var raw signedRaw
+		if err := wire.Decode(reply.NewViewEnv, &raw); err == nil && r.verifyRaw(&raw) == nil {
+			if tag, msg, err := registry.DecodeFrame(raw.Frame); err == nil && tag == tagNewView {
+				nv := msg.(*newView)
+				if nv.View > view {
+					v.nvFrom = raw.From
+					v.nvMsg = nv
+					v.nv = r.verifyNewView(raw.From, nv)
+				}
+			}
+		}
+	}
+	return v
+}
+
+func (r *Replica) handleStatusReplyLocked(reply *statusReply, v *statusVerdict) {
+	if v == nil {
+		return
+	}
+	if v.nvMsg != nil {
+		// A relayed new-view envelope lets a replica stuck in an old
+		// view adopt the group's current one; it is self-certifying
+		// (it embeds the signed view-change quorum) and was verified
+		// on the pipeline like a directly received one.
+		r.handleNewViewLocked(v.nvFrom, v.nvMsg, v.nv, reply.NewViewEnv)
+	}
+	if reply.StableBatch > r.lowWM && v.stableOK {
+		r.stabilizeLocked(reply.StableBatch, reply.StableGlobal, reply.StableChain, reply.StableProof)
+	}
+	for i := range reply.Entries {
+		r.installCommittedEntryLocked(&reply.Entries[i], &v.entries[i])
 	}
 }
 
-// processRelayedNewViewLocked feeds a relayed new-view envelope
-// through the normal validation path so a replica stuck in an old view
-// can adopt the group's current view. The envelope is self-certifying:
-// it carries the signed view-change quorum.
-func (r *Replica) processRelayedNewViewLocked(env []byte) {
-	var raw signedRaw
-	if err := wire.Decode(env, &raw); err != nil {
-		return
-	}
-	if err := r.verifyRaw(&raw); err != nil {
-		return
-	}
-	tag, msg, err := registry.DecodeFrame(raw.Frame)
-	if err != nil || tag != tagNewView {
-		return
-	}
-	r.handleNewViewLocked(raw.From, msg.(*newView), env)
-}
-
-// verifyCheckpointProofLocked checks a checkpoint certificate: a
-// quorum of distinct group members signed matching checkpoint
-// messages.
-func (r *Replica) verifyCheckpointProofLocked(batch, global uint64, chain crypto.Digest, proof []signedRaw) bool {
-	voters := make(map[ids.NodeID]bool)
+// verifyCheckpointProof checks a checkpoint certificate: a quorum of
+// distinct group members signed matching checkpoint messages. The
+// per-member signature checks fan out across the crypto pipeline; the
+// whole certificate is rejected if the valid shares fall short of a
+// quorum. Lock-free: it reads only immutable configuration.
+func (r *Replica) verifyCheckpointProof(batch, global uint64, chain crypto.Digest, proof []signedRaw) bool {
+	seen := make(map[ids.NodeID]bool, len(proof))
+	checks := make([]func() error, 0, len(proof))
+	froms := make([]ids.NodeID, 0, len(proof))
 	for i := range proof {
 		raw := &proof[i]
-		if voters[raw.From] {
+		if seen[raw.From] {
 			continue
 		}
-		if err := r.verifyRaw(raw); err != nil {
-			continue
+		seen[raw.From] = true
+		froms = append(froms, raw.From)
+		checks = append(checks, func() error {
+			if err := r.verifyRaw(raw); err != nil {
+				return err
+			}
+			tag, msg, err := registry.DecodeFrame(raw.Frame)
+			if err != nil || tag != tagCheckpoint {
+				return crypto.ErrBadSignature
+			}
+			c := msg.(*checkpointMsg)
+			if c.BatchSeq != batch || c.GlobalSeq != global || c.Chain != chain {
+				return crypto.ErrBadSignature
+			}
+			return nil
+		})
+	}
+	errs := r.cfg.Pipeline.RunBatch(checks)
+	voters := make(map[ids.NodeID]bool, len(froms))
+	for i, err := range errs {
+		if err == nil {
+			voters[froms[i]] = true
 		}
-		tag, msg, err := registry.DecodeFrame(raw.Frame)
-		if err != nil || tag != tagCheckpoint {
-			continue
-		}
-		c := msg.(*checkpointMsg)
-		if c.BatchSeq != batch || c.GlobalSeq != global || c.Chain != chain {
-			continue
-		}
-		voters[raw.From] = true
 	}
 	return r.cfg.Policy.IsQuorum(voters)
 }
 
-// installCommittedEntryLocked verifies a self-contained commit
-// certificate and, if valid, installs the batch as committed.
-func (r *Replica) installCommittedEntryLocked(ce *committedEntry) {
-	if err := r.verifyRaw(&ce.PrePrepare); err != nil {
-		return
+// verifyCommitCert checks a self-contained commit certificate off the
+// replica lock, fanning the per-vote checks across the crypto
+// pipeline. The pre-prepare must be signed (it is stored as a
+// transferable proof); the commits may be signed or MAC-vector
+// authenticated — a relayed MAC vector still carries this replica's
+// own entry, which its original sender alone could forge, so it is as
+// convincing to us as a signature even though we cannot pass it on.
+func (r *Replica) verifyCommitCert(ce *committedEntry, lowWM, nextDeliver uint64) commitCertVerdict {
+	if !ce.PrePrepare.transferable() || r.verifyRaw(&ce.PrePrepare) != nil {
+		return commitCertVerdict{}
 	}
 	tag, msg, err := registry.DecodeFrame(ce.PrePrepare.Frame)
 	if err != nil || tag != tagPrePrepare {
-		return
+		return commitCertVerdict{}
 	}
 	pp := msg.(*prePrepare)
 	if ce.PrePrepare.From != r.cfg.leaderOf(pp.View) {
-		return
+		return commitCertVerdict{}
 	}
-	if pp.Seq < r.nextDeliver || pp.Seq <= r.lowWM {
-		return
+	if pp.Seq < nextDeliver || pp.Seq <= lowWM {
+		return commitCertVerdict{}
 	}
 	digest := batchDigest(pp.Payloads)
-	voters := make(map[ids.NodeID]bool)
+	seen := make(map[ids.NodeID]bool, len(ce.Commits))
+	checks := make([]func() error, 0, len(ce.Commits))
+	froms := make([]ids.NodeID, 0, len(ce.Commits))
 	for i := range ce.Commits {
 		raw := &ce.Commits[i]
-		if voters[raw.From] {
+		if seen[raw.From] {
 			continue
 		}
-		if err := r.verifyRaw(raw); err != nil {
-			continue
+		seen[raw.From] = true
+		froms = append(froms, raw.From)
+		checks = append(checks, func() error {
+			ctag, cmsg, err := registry.DecodeFrame(raw.Frame)
+			if err != nil || ctag != tagCommit {
+				return crypto.ErrBadSignature
+			}
+			c := cmsg.(*commit)
+			if c.View != pp.View || c.Seq != pp.Seq || c.Digest != digest {
+				return crypto.ErrBadSignature
+			}
+			if raw.From == r.me && !raw.transferable() {
+				// Our own relayed MAC commit cannot be checked against
+				// its vector (the self entry is empty) and a relayer
+				// could fabricate it; accept it only if it matches a
+				// commit this replica actually sent, else a certificate
+				// echoing our own vote back at us would never reach its
+				// quorum and catch-up of a replica that missed its
+				// peers' commits would stall.
+				if !r.sentCommitMatches(c) {
+					return crypto.ErrBadMAC
+				}
+				return nil
+			}
+			return r.verifyAuthRaw(raw)
+		})
+	}
+	errs := r.cfg.Pipeline.RunBatch(checks)
+	voters := make(map[ids.NodeID]bool, len(froms))
+	for i, err := range errs {
+		if err == nil {
+			voters[froms[i]] = true
 		}
-		ctag, cmsg, err := registry.DecodeFrame(raw.Frame)
-		if err != nil || ctag != tagCommit {
-			continue
-		}
-		c := cmsg.(*commit)
-		if c.View != pp.View || c.Seq != pp.Seq || c.Digest != digest {
-			continue
-		}
-		voters[raw.From] = true
 	}
 	if !r.cfg.Policy.IsQuorum(voters) {
+		return commitCertVerdict{}
+	}
+	return commitCertVerdict{pp: pp, digest: digest, ok: true}
+}
+
+// staleViewChange reports whether a view-change frame is already
+// irrelevant — an old target view, or a duplicate vote from its
+// sender. Both conditions are stable once true (the view never
+// regresses, and a recorded vote outlives its target), so skipping
+// verification for them can never drop a message dispatch would have
+// used. Takes the lock briefly; called from pipeline compute only.
+func (r *Replica) staleViewChange(from ids.NodeID, vc *viewChange) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if vc.NewView <= r.view {
+		return true
+	}
+	if votes, ok := r.vcs[vc.NewView]; ok {
+		if _, dup := votes[from]; dup {
+			return true
+		}
+	}
+	return false
+}
+
+// staleNewView reports whether a new-view frame targets a view at or
+// below the current one (stable once true; see staleViewChange).
+func (r *Replica) staleNewView(nv *newView) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return nv.View <= r.view
+}
+
+// sentCommitMatches reports whether this replica really multicast the
+// given commit, authenticating a relayed copy of its own vote against
+// local state. Takes the replica lock briefly; only called from
+// pipeline compute functions, never under the lock.
+func (r *Replica) sentCommitMatches(c *commit) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.log[c.Seq]
+	return ok && e.sentCommit && e.view == c.View && e.digest == c.Digest
+}
+
+// installCommittedEntryLocked installs a batch whose commit
+// certificate the pipeline already verified, re-checking only the
+// state-dependent window conditions.
+func (r *Replica) installCommittedEntryLocked(ce *committedEntry, v *commitCertVerdict) {
+	if !v.ok {
+		return
+	}
+	pp := v.pp
+	if pp.Seq < r.nextDeliver || pp.Seq <= r.lowWM {
 		return
 	}
 	e := r.entryLocked(pp.Seq)
@@ -1010,7 +1354,7 @@ func (r *Replica) installCommittedEntryLocked(ce *committedEntry) {
 		return
 	}
 	e.view = pp.View
-	e.digest = digest
+	e.digest = v.digest
 	e.payloads = pp.Payloads
 	e.havePP = true
 	e.ppRaw = ce.PrePrepare
@@ -1062,6 +1406,11 @@ func (r *Replica) checkTimeoutsLocked() {
 	}
 
 	if r.inVC {
+		if !r.vcSent {
+			// The proof-upgrade hold may have expired: emit the
+			// view-change message with whatever proofs were rebuilt.
+			r.maybeEmitViewChangeLocked()
+		}
 		if now.After(r.vcDeadline) {
 			r.startViewChangeLocked(r.vcTarget + 1)
 		}

@@ -8,10 +8,21 @@ import (
 	"spider/internal/ids"
 )
 
-// startViewChangeLocked abandons the current view and broadcasts a
+// startViewChangeLocked abandons the current view and prepares a
 // view-change message for target. The consecutive-failure backoff
 // doubles the timeout so competing view changes eventually converge
 // during long partitions.
+//
+// Under the MAC fast path the prepare votes collected during normal
+// operation are not transferable, so entering a view change first runs
+// a proof-upgrade round: this replica re-issues its own normal-case
+// prepare votes as signed messages and briefly holds its view-change
+// message back while peers (entering the same view change) do the
+// same, rebuilding signature-based prepared proofs identical to the
+// ones signature mode collects. The hold is bounded: if faulty voters
+// withhold re-votes, the message goes out with the proofs that could
+// be rebuilt, degrading to the same omission the catch-up path already
+// documents rather than stalling the view change.
 func (r *Replica) startViewChangeLocked(target uint64) {
 	if target <= r.view || (r.inVC && target <= r.vcTarget) {
 		return
@@ -20,9 +31,76 @@ func (r *Replica) startViewChangeLocked(target uint64) {
 	r.vcTarget = target
 	r.curTimeout *= 2
 	r.vcDeadline = time.Now().Add(r.curTimeout)
+	r.vcSent = false
+	if r.macMode() {
+		r.multicastReVotesLocked()
+		grace := r.curTimeout / 8
+		if grace > 250*time.Millisecond {
+			grace = 250 * time.Millisecond
+		}
+		r.vcHold = time.Now().Add(grace)
+	}
+	r.maybeEmitViewChangeLocked()
+}
+
+// multicastReVotesLocked re-issues every normal-case prepare vote this
+// replica cast above the stable checkpoint as a signed message. Peers
+// accumulate the re-votes into their entries' transferable proofs.
+// Bounded by the log (at most two windows of entries); signing runs
+// inline because the view-change path is rare and the re-votes must
+// precede the view-change message.
+func (r *Replica) multicastReVotesLocked() {
+	for seq, e := range r.log {
+		if seq <= r.lowWM || !e.havePP || !e.sentPrepare {
+			continue
+		}
+		if r.me == r.cfg.leaderOf(e.view) {
+			continue // the proposer's signed pre-prepare is its vote
+		}
+		env, _ := r.sealLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
+		r.multicastLocked(env)
+	}
+}
+
+// transferableProofLocked reports whether e's prepared certificate can
+// be embedded in a view-change message: the signed pre-prepare plus
+// enough signed prepare votes to form a quorum with the proposer.
+func (r *Replica) transferableProofLocked(e *entry) bool {
+	if !e.ppRaw.transferable() {
+		return false
+	}
+	voters := map[ids.NodeID]bool{r.cfg.leaderOf(e.view): true}
+	for i := range e.preparedRaws {
+		voters[e.preparedRaws[i].From] = true
+	}
+	return r.cfg.Policy.IsQuorum(voters)
+}
+
+// holdForProofsLocked reports whether any prepared entry still lacks a
+// transferable proof that the upgrade round could yet deliver.
+func (r *Replica) holdForProofsLocked() bool {
+	for seq, e := range r.log {
+		if seq > r.lowWM && e.havePP && e.prepared && !r.transferableProofLocked(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeEmitViewChangeLocked sends the view-change message for the
+// current target unless it already went out or the MAC-mode proof
+// upgrade is still holding it back.
+func (r *Replica) maybeEmitViewChangeLocked() {
+	if !r.inVC || r.vcSent || r.stopped || !r.started {
+		return
+	}
+	if r.macMode() && time.Now().Before(r.vcHold) && r.holdForProofsLocked() {
+		return
+	}
+	r.vcSent = true
 
 	vc := &viewChange{
-		NewView:      target,
+		NewView:      r.vcTarget,
 		StableBatch:  r.lowWM,
 		StableGlobal: r.stableGlobal,
 		StableChain:  r.stableChain,
@@ -37,11 +115,14 @@ func (r *Replica) startViewChangeLocked(target uint64) {
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, seq := range seqs {
 		e := r.log[seq]
-		if len(e.preparedRaws) == 0 && r.cfg.Group.F > 0 {
-			// Prepared via a commit certificate during catch-up: no
-			// transferable prepare votes. Safe to omit — a batch
+		if !r.transferableProofLocked(e) {
+			// No transferable prepare quorum: prepared via a commit
+			// certificate during catch-up, or under MACs with the
+			// upgrade round incomplete. Safe to omit — a batch
 			// committed anywhere was prepared by a quorum, so some
-			// view-change quorum member carries a genuine proof.
+			// view-change quorum member carries a genuine proof (under
+			// MACs, the re-vote round reconstructs it at every correct
+			// replica that voted).
 			continue
 		}
 		vc.Prepared = append(vc.Prepared, preparedProof{
@@ -53,7 +134,7 @@ func (r *Replica) startViewChangeLocked(target uint64) {
 	r.multicastLocked(env)
 }
 
-func (r *Replica) handleViewChangeLocked(from ids.NodeID, vc *viewChange, raw signedRaw) {
+func (r *Replica) handleViewChangeLocked(from ids.NodeID, vc *viewChange, raw signedRaw, verified bool) {
 	if vc.NewView <= r.view {
 		return
 	}
@@ -65,7 +146,9 @@ func (r *Replica) handleViewChangeLocked(from ids.NodeID, vc *viewChange, raw si
 	if _, dup := votes[from]; dup {
 		return
 	}
-	if !r.verifyViewChangeLocked(vc) {
+	if !verified {
+		// The crypto pipeline could not validate the embedded evidence
+		// (certificates or prepared proofs) off the lock.
 		return
 	}
 	votes[from] = vcVote{msg: vc, raw: raw}
@@ -119,26 +202,30 @@ func (r *Replica) maybeJoinViewChangeLocked() {
 	r.startViewChangeLocked(join)
 }
 
-// verifyViewChangeLocked validates a view-change message's embedded
+// verifyViewChange validates a view-change message's embedded
 // evidence: the stable-checkpoint certificate and every prepared
-// proof.
-func (r *Replica) verifyViewChangeLocked(vc *viewChange) bool {
+// proof. Lock-free — it reads only immutable configuration — so the
+// crypto pipeline runs it off the replica lock, with the per-share
+// checks of each certificate fanned out as batches.
+func (r *Replica) verifyViewChange(vc *viewChange) bool {
 	if vc.StableBatch > 0 &&
-		!r.verifyCheckpointProofLocked(vc.StableBatch, vc.StableGlobal, vc.StableChain, vc.StableProof) {
+		!r.verifyCheckpointProof(vc.StableBatch, vc.StableGlobal, vc.StableChain, vc.StableProof) {
 		return false
 	}
 	for i := range vc.Prepared {
-		if _, _, ok := r.verifyPreparedProofLocked(&vc.Prepared[i]); !ok {
+		if _, _, ok := r.verifyPreparedProof(&vc.Prepared[i]); !ok {
 			return false
 		}
 	}
 	return true
 }
 
-// verifyPreparedProofLocked checks one prepared certificate and
-// returns the decoded pre-prepare.
-func (r *Replica) verifyPreparedProofLocked(proof *preparedProof) (*prePrepare, crypto.Digest, bool) {
-	if err := r.verifyRaw(&proof.PrePrepare); err != nil {
+// verifyPreparedProof checks one prepared certificate and returns the
+// decoded pre-prepare. Only signed raws count: prepared proofs must
+// remain transferable, so a MAC-authenticated vote smuggled into one
+// is ignored. Lock-free; the prepare checks run as a pipeline batch.
+func (r *Replica) verifyPreparedProof(proof *preparedProof) (*prePrepare, crypto.Digest, bool) {
+	if !proof.PrePrepare.transferable() || r.verifyRaw(&proof.PrePrepare) != nil {
 		return nil, crypto.Digest{}, false
 	}
 	tag, msg, err := registry.DecodeFrame(proof.PrePrepare.Frame)
@@ -151,24 +238,40 @@ func (r *Replica) verifyPreparedProofLocked(proof *preparedProof) (*prePrepare, 
 		return nil, crypto.Digest{}, false
 	}
 	digest := batchDigest(pp.Payloads)
-	voters := map[ids.NodeID]bool{proposer: true}
+	seen := map[ids.NodeID]bool{proposer: true}
+	checks := make([]func() error, 0, len(proof.Prepares))
+	froms := make([]ids.NodeID, 0, len(proof.Prepares))
 	for i := range proof.Prepares {
 		raw := &proof.Prepares[i]
-		if voters[raw.From] || raw.From == proposer {
+		if seen[raw.From] {
 			continue
 		}
-		if err := r.verifyRaw(raw); err != nil {
-			continue
+		seen[raw.From] = true
+		froms = append(froms, raw.From)
+		checks = append(checks, func() error {
+			if !raw.transferable() {
+				return crypto.ErrBadSignature
+			}
+			if err := r.verifyRaw(raw); err != nil {
+				return err
+			}
+			ptag, pmsg, err := registry.DecodeFrame(raw.Frame)
+			if err != nil || ptag != tagPrepare {
+				return crypto.ErrBadSignature
+			}
+			p := pmsg.(*prepare)
+			if p.View != pp.View || p.Seq != pp.Seq || p.Digest != digest {
+				return crypto.ErrBadSignature
+			}
+			return nil
+		})
+	}
+	errs := r.cfg.Pipeline.RunBatch(checks)
+	voters := map[ids.NodeID]bool{proposer: true}
+	for i, err := range errs {
+		if err == nil {
+			voters[froms[i]] = true
 		}
-		ptag, pmsg, err := registry.DecodeFrame(raw.Frame)
-		if err != nil || ptag != tagPrepare {
-			continue
-		}
-		p := pmsg.(*prepare)
-		if p.View != pp.View || p.Seq != pp.Seq || p.Digest != digest {
-			continue
-		}
-		voters[raw.From] = true
 	}
 	if !r.cfg.Policy.IsQuorum(voters) {
 		return nil, crypto.Digest{}, false
@@ -191,7 +294,7 @@ type reissuePlan struct {
 	maxSeq  uint64
 }
 
-func (r *Replica) computeReissuePlanLocked(vcs []*viewChange) reissuePlan {
+func (r *Replica) computeReissuePlan(vcs []*viewChange) reissuePlan {
 	plan := reissuePlan{batches: make(map[uint64][][]byte)}
 	for _, vc := range vcs {
 		if vc.StableBatch > plan.stableBatch {
@@ -209,7 +312,7 @@ func (r *Replica) computeReissuePlanLocked(vcs []*viewChange) reissuePlan {
 	for _, vc := range vcs {
 		for i := range vc.Prepared {
 			// Proofs were verified when the view change was accepted.
-			pp, _, ok := r.verifyPreparedProofLocked(&vc.Prepared[i])
+			pp, _, ok := r.verifyPreparedProof(&vc.Prepared[i])
 			if !ok {
 				continue
 			}
@@ -254,7 +357,7 @@ func (r *Replica) buildNewViewLocked(target uint64) {
 	}
 	sort.Slice(raws, func(i, j int) bool { return raws[i].From < raws[j].From })
 
-	plan := r.computeReissuePlanLocked(msgs)
+	plan := r.computeReissuePlan(msgs)
 	nv := &newView{View: target, ViewChanges: raws}
 	seqs := make([]uint64, 0, len(plan.batches))
 	for seq := range plan.batches {
@@ -276,11 +379,22 @@ func (r *Replica) buildNewViewLocked(target uint64) {
 	// back through the transport, exactly like the followers.
 }
 
-func (r *Replica) handleNewViewLocked(from ids.NodeID, nv *newView, env []byte) {
-	if nv.View <= r.view || from != r.cfg.leaderOf(nv.View) {
-		return
-	}
-	// Verify the view-change quorum.
+// nvVerdict is the crypto pipeline's precomputed verdict for one
+// new-view message: whether the view-change quorum and the re-issued
+// pre-prepares check out, and the reissue plan both were validated
+// against.
+type nvVerdict struct {
+	ok       bool
+	plan     reissuePlan
+	reissues []*prePrepare
+}
+
+// verifyNewView validates a new-view message off the replica lock:
+// the signed view-change quorum, each view change's embedded evidence,
+// and the leader's re-issued pre-prepares against an independently
+// recomputed plan. Lock-free — state-dependent acceptance (current
+// view, leader of the target view) stays in the handler.
+func (r *Replica) verifyNewView(from ids.NodeID, nv *newView) *nvVerdict {
 	voters := make(map[ids.NodeID]bool)
 	msgs := make([]*viewChange, 0, len(nv.ViewChanges))
 	for i := range nv.ViewChanges {
@@ -289,7 +403,7 @@ func (r *Replica) handleNewViewLocked(from ids.NodeID, nv *newView, env []byte) 
 			continue
 		}
 		if from != r.me {
-			if err := r.verifyRaw(raw); err != nil {
+			if !raw.transferable() || r.verifyRaw(raw) != nil {
 				continue
 			}
 		}
@@ -301,49 +415,58 @@ func (r *Replica) handleNewViewLocked(from ids.NodeID, nv *newView, env []byte) 
 		if vc.NewView != nv.View {
 			continue
 		}
-		if from != r.me && !r.verifyViewChangeLocked(vc) {
+		if from != r.me && !r.verifyViewChange(vc) {
 			continue
 		}
 		voters[raw.From] = true
 		msgs = append(msgs, vc)
 	}
 	if !r.cfg.Policy.IsQuorum(voters) {
-		return
+		return &nvVerdict{}
 	}
 	// Recompute the plan independently and insist the leader followed
 	// it: same sequence set, same batch digests, correctly signed
 	// re-issued pre-prepares.
-	plan := r.computeReissuePlanLocked(msgs)
+	plan := r.computeReissuePlan(msgs)
 	if len(nv.PrePrepares) != len(plan.batches) {
-		return
+		return &nvVerdict{}
 	}
 	reissues := make([]*prePrepare, 0, len(nv.PrePrepares))
 	for i := range nv.PrePrepares {
 		raw := &nv.PrePrepares[i]
 		if raw.From != from {
-			return
+			return &nvVerdict{}
 		}
 		if from != r.me {
-			if err := r.verifyRaw(raw); err != nil {
-				return
+			if !raw.transferable() || r.verifyRaw(raw) != nil {
+				return &nvVerdict{}
 			}
 		}
 		tag, msg, err := registry.DecodeFrame(raw.Frame)
 		if err != nil || tag != tagPrePrepare {
-			return
+			return &nvVerdict{}
 		}
 		pp := msg.(*prePrepare)
 		want, ok := plan.batches[pp.Seq]
 		if !ok || pp.View != nv.View {
-			return
+			return &nvVerdict{}
 		}
 		if batchDigest(pp.Payloads) != batchDigest(want) {
-			return
+			return &nvVerdict{}
 		}
 		reissues = append(reissues, pp)
 	}
+	return &nvVerdict{ok: true, plan: plan, reissues: reissues}
+}
 
-	r.adoptViewLocked(nv, plan, reissues, env)
+func (r *Replica) handleNewViewLocked(from ids.NodeID, nv *newView, v *nvVerdict, env []byte) {
+	if nv.View <= r.view || from != r.cfg.leaderOf(nv.View) {
+		return
+	}
+	if v == nil || !v.ok {
+		return
+	}
+	r.adoptViewLocked(nv, v.plan, v.reissues, env)
 }
 
 // adoptViewLocked installs the new view: jump to the plan's stable
@@ -354,6 +477,7 @@ func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*pre
 	r.view = nv.View
 	r.inVC = false
 	r.vcTarget = nv.View
+	r.vcSent = false
 	r.curTimeout = r.cfg.RequestTimeout
 	r.lastNewViewEnv = env
 	for target := range r.vcs {
@@ -420,7 +544,7 @@ func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*pre
 		}
 		if r.me != leader {
 			e.sentPrepare = true
-			r.signMulticastLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest})
+			r.authMulticastLocked(tagPrepare, &prepare{View: e.view, Seq: e.seq, Digest: e.digest}, r.normalAuth)
 		}
 		r.checkPreparedLocked(e)
 	}

@@ -102,6 +102,7 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 		RequestTimeout: cfg.ConsensusTimeout,
 		BatchSize:      cfg.ConsensusBatch,
 		Pipeline:       cfg.Pipeline,
+		NormalCaseAuth: cfg.ConsensusAuth,
 	}
 	agreement, err := pbft.New(pbftCfg)
 	if err != nil {

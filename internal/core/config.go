@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"spider/internal/consensus/pbft"
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/irmc"
@@ -210,6 +211,13 @@ type AgreementConfig struct {
 	ConsensusTimeout time.Duration
 	// ConsensusBatch caps payloads per consensus instance (default 8).
 	ConsensusBatch int
+	// ConsensusAuth selects how PBFT authenticates its normal-case
+	// messages. The zero value is the paper's agreement-cluster
+	// optimisation: MAC vectors among the agreement replicas (whose
+	// pairwise keys all suites of a deployment share), signatures for
+	// view changes, checkpoints and certificates. Set
+	// pbft.AuthSignatures for the fully signed variant.
+	ConsensusAuth pbft.AuthMode
 	// Meter, when set, accounts this replica's processing time.
 	Meter *stats.CPUMeter
 	// Pipeline runs consensus and channel crypto off the transport

@@ -123,22 +123,7 @@ func VerifyMACVector(s Suite, from ids.NodeID, members []ids.NodeID, d Domain, m
 }
 
 // WriteMACVector appends a MAC vector to a wire message.
-func WriteMACVector(w *wire.Writer, vec [][]byte) {
-	w.WriteInt(len(vec))
-	for _, m := range vec {
-		w.WriteBytes(m)
-	}
-}
+func WriteMACVector(w *wire.Writer, vec [][]byte) { w.WriteBytesList(vec) }
 
 // ReadMACVector consumes a MAC vector from a wire message.
-func ReadMACVector(r *wire.Reader) [][]byte {
-	n := r.ReadInt()
-	if n < 0 || n > 1<<16 {
-		return nil
-	}
-	vec := make([][]byte, n)
-	for i := range vec {
-		vec[i] = r.ReadBytes()
-	}
-	return vec
-}
+func ReadMACVector(r *wire.Reader) [][]byte { return r.ReadBytesList() }

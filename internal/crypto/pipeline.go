@@ -3,6 +3,7 @@ package crypto
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pipeline schedules CPU-bound crypto work — signature verification and
@@ -189,6 +190,55 @@ func (l *Lane) GoBatch(jobs []Job) {
 	l.q = append(l.q, tasks...)
 	l.mu.Unlock()
 	l.p.submit(tasks)
+}
+
+// RunBatch fans fns out across the pipeline, blocks until all have
+// run, and returns their errors in order. It is the building block for
+// batch certificate verification: a quorum's worth of signature checks
+// submitted at once overlaps across workers instead of running as a
+// synchronous loop on the caller.
+//
+// The calling goroutine participates: every function the pool has not
+// yet claimed is executed by the caller itself. This keeps RunBatch
+// deadlock-free when invoked from inside a pipeline worker (a compute
+// function verifying a certificate) even on a single-worker pool, and
+// means a saturated pool degrades to inline execution rather than
+// queueing behind itself.
+func (p *Pipeline) RunBatch(fns []func() error) []error {
+	errs := make([]error, len(fns))
+	if p.sync || len(fns) <= 1 {
+		for i, fn := range fns {
+			errs[i] = fn()
+		}
+		return errs
+	}
+	claimed := make([]atomic.Bool, len(fns))
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	lane := p.NewLane()
+	jobs := make([]Job, len(fns))
+	for i := range fns {
+		i := i
+		jobs[i] = Job{
+			Compute: func() error {
+				if claimed[i].CompareAndSwap(false, true) {
+					errs[i] = fns[i]()
+					wg.Done()
+				}
+				return nil
+			},
+			Deliver: func(error) {},
+		}
+	}
+	lane.GoBatch(jobs)
+	for i := range fns {
+		if claimed[i].CompareAndSwap(false, true) {
+			errs[i] = fns[i]()
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return errs
 }
 
 // complete marks t done and drains every finished task at the queue

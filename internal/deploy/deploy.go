@@ -4,9 +4,12 @@
 package deploy
 
 import (
+	"crypto/rand"
 	"crypto/rsa"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
@@ -130,6 +133,31 @@ func (c *Config) Entries() []core.GroupEntry {
 // MAC keys derive from it (development only).
 var masterSecret = []byte("spider-deployment-master-secret")
 
+// groupSecretFile is the deployment group key written next to the RSA
+// key material. Pairwise MAC keys — including the MAC vectors of the
+// PBFT fast path — derive from it, so it stands in for the key
+// exchange a production deployment would run and must be distributed
+// to replicas only, never to clients of an untrusted domain.
+const groupSecretFile = "group.secret"
+
+// groupSecret loads the deployment's group key. Only a genuinely
+// missing file falls back to the development secret (key directories
+// generated before one existed); any other read failure is an error —
+// silently deriving the MAC keys that authenticate PBFT votes from a
+// publicly known constant would let anyone forge them.
+func (c *Config) groupSecret() ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(c.KeyDir, groupSecretFile))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return masterSecret, nil
+	case err != nil:
+		return nil, fmt.Errorf("deploy: group secret: %w", err)
+	case len(data) == 0:
+		return nil, fmt.Errorf("deploy: group secret %s is empty", groupSecretFile)
+	}
+	return data, nil
+}
+
 // Suite builds the crypto suite for one node per the config.
 func (c *Config) Suite(self ids.NodeID) (crypto.Suite, error) {
 	switch c.Crypto {
@@ -156,15 +184,28 @@ func (c *Config) Suite(self ids.NodeID) (crypto.Suite, error) {
 			}
 			pubs[id] = pub
 		}
-		return crypto.NewRSASuite(self, key, crypto.NewDirectory(pubs), masterSecret), nil
+		secret, err := c.groupSecret()
+		if err != nil {
+			return nil, err
+		}
+		return crypto.NewRSASuite(self, key, crypto.NewDirectory(pubs), secret), nil
 	default:
 		return nil, fmt.Errorf("deploy: unknown crypto %q", c.Crypto)
 	}
 }
 
-// GenerateKeys writes an RSA key pair for every node into dir.
+// GenerateKeys writes an RSA key pair for every node into dir, plus a
+// fresh random group secret from which the deployment's pairwise MAC
+// keys derive.
 func (c *Config) GenerateKeys(dir string) error {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return fmt.Errorf("deploy: group secret: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, groupSecretFile), secret, 0o600); err != nil {
 		return fmt.Errorf("deploy: %w", err)
 	}
 	for _, id := range c.AllNodes() {

@@ -82,6 +82,10 @@ type BuildOptions struct {
 	// VmaxRegions lists BFT-WV's high-weight replicas by region
 	// (default: first two of Regions).
 	VmaxRegions []topo.Region
+	// ConsensusAuth selects PBFT's normal-case authentication for
+	// Spider's agreement group (default: MAC vectors, the paper's
+	// optimisation; pbft.AuthSignatures restores the signed variant).
+	ConsensusAuth pbft.AuthMode
 }
 
 func (o *BuildOptions) applyDefaults() {
@@ -366,6 +370,7 @@ func (c *Cluster) buildSpider() error {
 			Node:             c.Net.Node(m),
 			Tunables:         c.spiderTunables(),
 			ConsensusTimeout: 2 * time.Second,
+			ConsensusAuth:    c.Opts.ConsensusAuth,
 		})
 		if err != nil {
 			return err

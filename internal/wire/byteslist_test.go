@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBytesListRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{},
+		{[]byte("a")},
+		{nil, []byte("b"), {}, []byte("longer entry here")},
+	}
+	for _, in := range cases {
+		var w Writer
+		w.WriteBytesList(in)
+		r := NewReader(w.Bytes())
+		out := r.ReadBytesList()
+		if err := r.Close(); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("got %d entries, want %d", len(out), len(in))
+		}
+		for i := range in {
+			if !bytes.Equal(out[i], in[i]) {
+				t.Fatalf("entry %d = %q, want %q", i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestBytesListRejectsBadCount(t *testing.T) {
+	var w Writer
+	w.WriteInt(-1)
+	r := NewReader(w.Bytes())
+	if r.ReadBytesList() != nil || r.Err() == nil {
+		t.Fatal("negative count accepted")
+	}
+	w.Reset()
+	w.WriteInt(maxListLen + 1)
+	r = NewReader(w.Bytes())
+	if r.ReadBytesList() != nil || r.Err() == nil {
+		t.Fatal("oversized count accepted")
+	}
+}

@@ -113,6 +113,16 @@ func (w *Writer) WriteBytes(b []byte) {
 // fixed-size trailers where the reader knows the length.
 func (w *Writer) WriteRaw(b []byte) { w.buf = append(w.buf, b...) }
 
+// WriteBytesList appends a count-prefixed list of byte slices, each
+// itself length-prefixed. Used for MAC vectors and other per-member
+// authenticator material.
+func (w *Writer) WriteBytesList(bs [][]byte) {
+	w.WriteInt(len(bs))
+	for _, b := range bs {
+		w.WriteBytes(b)
+	}
+}
+
 // WriteString appends a length-prefixed string.
 func (w *Writer) WriteString(s string) {
 	w.WriteUvarint(uint64(len(s)))
@@ -303,6 +313,31 @@ func (r *Reader) ReadRaw(n int) []byte {
 	out := make([]byte, n)
 	copy(out, r.buf[r.off:r.off+n])
 	r.off += n
+	return out
+}
+
+// maxListLen bounds count prefixes of byte-slice lists; no protocol
+// message carries more entries than this.
+const maxListLen = 1 << 16
+
+// ReadBytesList consumes a list written by WriteBytesList. An empty
+// list decodes as nil.
+func (r *Reader) ReadBytesList() [][]byte {
+	n := r.ReadInt()
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxListLen {
+		r.fail("bad list length")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = r.ReadBytes()
+	}
 	return out
 }
 
