@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench tidy
+.PHONY: check build vet test race bench bench-snapshot tidy
 
 ## check: what CI runs — build, vet, full test suite, and the
 ## concurrency-sensitive packages under the race detector (the MAC
@@ -23,9 +23,18 @@ race:
 	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/...
 
 ## bench: agreement-throughput benchmarks — signature PBFT (serial vs
-## parallel pipeline) against the MAC-vector fast path.
+## parallel pipeline) against the MAC-vector fast path, plus the
+## batch-size sweep of the batched commit data plane.
 bench:
 	$(GO) test -run '^$$' -bench 'RSAThroughput|MACThroughput|MicroPipelineRSA' -benchtime 2000x .
+
+## bench-snapshot: run the same benchmarks with -json and store the
+## raw event stream as BENCH_<date>.json, so the perf trajectory across
+## PRs is machine-readable (each line is a go test JSON event; Output
+## lines carry the usual "req/s" metrics).
+bench-snapshot:
+	$(GO) test -run '^$$' -bench 'RSAThroughput|MACThroughput|MicroPipelineRSA' -benchtime 2000x -json . > BENCH_$$(date +%Y%m%d).json
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 tidy:
 	$(GO) mod tidy

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"spider/internal/consensus"
 	"spider/internal/consensus/pbft"
 	"spider/internal/core"
 	"spider/internal/crypto"
@@ -158,8 +159,15 @@ func (r *Replica) onClientFrame(from ids.NodeID, payload []byte) {
 	}
 }
 
-// deliver executes ordered requests.
-func (r *Replica) deliver(_ ids.SeqNr, payload []byte) {
+// deliver executes ordered batches request by request (the baseline
+// has no downstream data plane to hand whole batches to).
+func (r *Replica) deliver(b consensus.Batch) {
+	for _, payload := range b.Payloads {
+		r.deliverOne(payload)
+	}
+}
+
+func (r *Replica) deliverOne(payload []byte) {
 	var req core.ClientRequest
 	if err := wire.Decode(payload, &req); err != nil {
 		return

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sync"
 
+	"spider/internal/consensus"
 	"spider/internal/consensus/pbft"
 	"spider/internal/core"
 	"spider/internal/crypto"
@@ -387,8 +388,14 @@ func (r *Replica) siteByID(id ids.GroupID) (ids.Group, bool) {
 	return ids.Group{}, false
 }
 
-// deliverLocal handles site-locally ordered items.
-func (r *Replica) deliverLocal(seq ids.SeqNr, payload []byte) {
+// deliverLocal handles site-locally ordered batches item by item.
+func (r *Replica) deliverLocal(b consensus.Batch) {
+	for i, payload := range b.Payloads {
+		r.deliverLocalOne(b.Start+ids.SeqNr(i), payload)
+	}
+}
+
+func (r *Replica) deliverLocalOne(seq ids.SeqNr, payload []byte) {
 	var item localItem
 	if err := wire.Decode(payload, &item); err != nil {
 		return

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"spider/internal/consensus"
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/transport/memnet"
@@ -136,7 +137,7 @@ func certReplica(t *testing.T, pipe *crypto.Pipeline) (*Replica, map[ids.NodeID]
 		Suite:    suites[1],
 		Node:     net.Node(1),
 		Stream:   testStream,
-		Deliver:  func(ids.SeqNr, []byte) {},
+		Deliver:  func(consensus.Batch) {},
 		Pipeline: pipe,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"spider/internal/crypto"
 	"spider/internal/ids"
+	"spider/internal/stats"
 	"spider/internal/transport"
 
 	"spider/internal/consensus"
@@ -133,6 +134,11 @@ type Config struct {
 
 	// BatchSize caps payloads per consensus instance.
 	BatchSize int
+	// BatchOccupancy, when set, records the number of payloads in every
+	// batch this replica proposes while leading, making underfilled
+	// batches measurable (the batch-size knob is a first-class workload
+	// dimension; see stats.Occupancy).
+	BatchOccupancy *stats.Occupancy
 	// BatchDelay is how long the leader waits to fill a batch.
 	BatchDelay time.Duration
 	// Window is the number of batches that may be in flight beyond

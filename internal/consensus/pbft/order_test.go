@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"spider/internal/consensus"
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/transport/memnet"
@@ -30,7 +31,7 @@ func TestAsyncVerifyPreservesSenderOrder(t *testing.T) {
 		Suite:   suites[2],
 		Node:    net.Node(2),
 		Stream:  1,
-		Deliver: func(ids.SeqNr, []byte) {},
+		Deliver: func(consensus.Batch) {},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +121,7 @@ func TestAsyncVerifyRejectsBadSignatures(t *testing.T) {
 		Suite:   suites[2],
 		Node:    net.Node(2),
 		Stream:  1,
-		Deliver: func(ids.SeqNr, []byte) {},
+		Deliver: func(consensus.Batch) {},
 	})
 	if err != nil {
 		t.Fatal(err)

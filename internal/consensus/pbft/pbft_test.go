@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"spider/internal/consensus"
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/transport"
@@ -22,11 +23,15 @@ type collector struct {
 	payloads [][]byte
 }
 
-func (c *collector) deliver(seq ids.SeqNr, payload []byte) {
+// deliver unpacks a batch delivery into per-payload (seq, payload)
+// records, so assertions keep working on the flattened order.
+func (c *collector) deliver(b consensus.Batch) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.seqs = append(c.seqs, seq)
-	c.payloads = append(c.payloads, payload)
+	for i, payload := range b.Payloads {
+		c.seqs = append(c.seqs, b.Start+ids.SeqNr(i))
+		c.payloads = append(c.payloads, payload)
+	}
 }
 
 func (c *collector) count() int {
@@ -394,7 +399,7 @@ func TestConfigValidation(t *testing.T) {
 			Suite:   suites[1],
 			Node:    net.Node(1),
 			Stream:  testStream,
-			Deliver: func(ids.SeqNr, []byte) {},
+			Deliver: func(consensus.Batch) {},
 		}
 	}
 

@@ -10,6 +10,7 @@ import (
 	"spider/internal/consensus"
 	"spider/internal/crypto"
 	"spider/internal/ids"
+	"spider/internal/transport"
 	"spider/internal/wire"
 )
 
@@ -230,7 +231,9 @@ func (r *Replica) Start() {
 	r.started = true
 	r.mu.Unlock()
 
-	r.cfg.Node.Handle(r.cfg.Stream, r.onFrame)
+	// Batch-capable transports hand a drained run of queued frames to
+	// onFrames in one call; others fall back to frame-at-a-time.
+	transport.RegisterBatch(r.cfg.Node, r.cfg.Stream, r.onFrames)
 
 	r.wg.Add(2)
 	go r.deliveryLoop()
@@ -375,97 +378,112 @@ type inbound struct {
 	nv        *nvVerdict     // tagNewView: quorum + reissue plan
 }
 
-// onFrame is the transport handler for all PBFT traffic. It only
-// decodes the envelope; authentication, frame decoding, payload
-// validation and certificate verification run on the crypto pipeline
-// so the transport goroutine and the replica lock are never blocked on
-// crypto. The per-sender lane guarantees frames of one peer reach
-// dispatch in arrival order.
+// onFrame is the single-frame transport handler for PBFT traffic.
 func (r *Replica) onFrame(from ids.NodeID, payload []byte) {
-	var raw signedRaw
-	if err := wire.Decode(payload, &raw); err != nil {
-		return
-	}
-	if raw.From != from {
-		return // transport identity must match the claimed sender
-	}
+	r.onFrames(from, [][]byte{payload})
+}
+
+// onFrames admits a run of frames that arrived back-to-back from one
+// peer. It only decodes the envelopes; authentication, frame decoding,
+// payload validation and certificate verification run on the crypto
+// pipeline so the transport goroutine and the replica lock are never
+// blocked on crypto. The per-sender lane guarantees frames of one peer
+// reach dispatch in arrival order, and the whole run enters the lane
+// as one GoBatch submission so a saturated link pays the pipeline
+// queue locking once per drain instead of once per frame.
+func (r *Replica) onFrames(from ids.NodeID, payloads [][]byte) {
 	lane := r.recvLanes[from]
 	if lane == nil {
 		return // not a group member
 	}
-	in := &inbound{from: from, raw: raw, env: payload}
-	var fallback *voteRequest
-	lane.Go(func() error {
-		if from != r.me {
-			if err := r.verifyAuthRaw(&in.raw); err != nil {
-				// A bad MAC-vector entry on a normal-case vote gets the
-				// fallback treatment: drop the frame but ask the peer
-				// for a signed copy, so a correct sender whose vector
-				// was corrupted in transit (or a receiver targeted by a
-				// selectively garbled vector) recovers instead of
-				// stalling the quorum.
-				if len(in.raw.Sig) == 0 && len(in.raw.MACVec) > 0 {
-					fallback = fallbackRequest(in.raw.Frame)
-				}
-				return err
-			}
+	jobs := make([]crypto.Job, 0, len(payloads))
+	for _, payload := range payloads {
+		var raw signedRaw
+		if err := wire.Decode(payload, &raw); err != nil {
+			continue
 		}
-		var err error
-		in.tag, in.msg, err = registry.DecodeFrame(in.raw.Frame)
-		if err != nil {
-			return err
+		if raw.From != from {
+			continue // transport identity must match the claimed sender
 		}
-		if !in.raw.transferable() && from != r.me && in.tag != tagPrepare && in.tag != tagCommit {
-			// MAC vectors authenticate the normal-case fast path only;
-			// everything else must stay signed so it can serve in
-			// certificates and proofs.
-			return fmt.Errorf("pbft: %v from %v must be signed", in.tag, from)
-		}
-		switch in.tag {
-		case tagPrePrepare:
-			if from != r.me && r.cfg.Validate != nil {
-				// A-Validity runs here too: client-request signature
-				// checks are as CPU-bound as the envelope signature and
-				// must not run under the replica lock. Gated on the
-				// same cheap acceptance checks the handler applies, so
-				// duplicate or out-of-window pre-prepares cannot buy
-				// batch-sized validation work on the shared pool (the
-				// handler falls back to inline validation for the rare
-				// frame that becomes acceptable between this check and
-				// dispatch).
-				if pp := in.msg.(*prePrepare); r.wouldAcceptPrePrepare(from, pp) {
-					in.validated = true
-					for _, p := range pp.Payloads {
-						if err := r.cfg.Validate(p); err != nil {
-							in.valErr = err
-							break
+		in := &inbound{from: from, raw: raw, env: payload}
+		var fallback *voteRequest
+		jobs = append(jobs, crypto.Job{
+			Compute: func() error {
+				if from != r.me {
+					if err := r.verifyAuthRaw(&in.raw); err != nil {
+						// A bad MAC-vector entry on a normal-case vote gets
+						// the fallback treatment: drop the frame but ask the
+						// peer for a signed copy, so a correct sender whose
+						// vector was corrupted in transit (or a receiver
+						// targeted by a selectively garbled vector) recovers
+						// instead of stalling the quorum.
+						if len(in.raw.Sig) == 0 && len(in.raw.MACVec) > 0 {
+							fallback = fallbackRequest(in.raw.Frame)
 						}
+						return err
 					}
 				}
-			}
-		case tagStatusReply:
-			in.sv = r.verifyStatusReply(in.msg.(*statusReply))
-		case tagViewChange:
-			// Stale or duplicate view changes are dropped at dispatch
-			// anyway; checking first keeps a replayed signed envelope
-			// from buying certificate-sized verification work.
-			vc := in.msg.(*viewChange)
-			in.vcOK = !r.staleViewChange(from, vc) && r.verifyViewChange(vc)
-		case tagNewView:
-			if nv := in.msg.(*newView); !r.staleNewView(nv) {
-				in.nv = r.verifyNewView(from, nv)
-			}
-		}
-		return nil
-	}, func(err error) {
-		if err != nil {
-			if fallback != nil {
-				r.requestSignedVote(from, fallback)
-			}
-			return
-		}
-		r.dispatch(in)
-	})
+				var err error
+				in.tag, in.msg, err = registry.DecodeFrame(in.raw.Frame)
+				if err != nil {
+					return err
+				}
+				if !in.raw.transferable() && from != r.me && in.tag != tagPrepare && in.tag != tagCommit {
+					// MAC vectors authenticate the normal-case fast path
+					// only; everything else must stay signed so it can
+					// serve in certificates and proofs.
+					return fmt.Errorf("pbft: %v from %v must be signed", in.tag, from)
+				}
+				switch in.tag {
+				case tagPrePrepare:
+					if from != r.me && r.cfg.Validate != nil {
+						// A-Validity runs here too: client-request signature
+						// checks are as CPU-bound as the envelope signature
+						// and must not run under the replica lock. Gated on
+						// the same cheap acceptance checks the handler
+						// applies, so duplicate or out-of-window
+						// pre-prepares cannot buy batch-sized validation
+						// work on the shared pool (the handler falls back to
+						// inline validation for the rare frame that becomes
+						// acceptable between this check and dispatch).
+						if pp := in.msg.(*prePrepare); r.wouldAcceptPrePrepare(from, pp) {
+							in.validated = true
+							for _, p := range pp.Payloads {
+								if err := r.cfg.Validate(p); err != nil {
+									in.valErr = err
+									break
+								}
+							}
+						}
+					}
+				case tagStatusReply:
+					in.sv = r.verifyStatusReply(in.msg.(*statusReply))
+				case tagViewChange:
+					// Stale or duplicate view changes are dropped at
+					// dispatch anyway; checking first keeps a replayed
+					// signed envelope from buying certificate-sized
+					// verification work.
+					vc := in.msg.(*viewChange)
+					in.vcOK = !r.staleViewChange(from, vc) && r.verifyViewChange(vc)
+				case tagNewView:
+					if nv := in.msg.(*newView); !r.staleNewView(nv) {
+						in.nv = r.verifyNewView(from, nv)
+					}
+				}
+				return nil
+			},
+			Deliver: func(err error) {
+				if err != nil {
+					if fallback != nil {
+						r.requestSignedVote(from, fallback)
+					}
+					return
+				}
+				r.dispatch(in)
+			},
+		})
+	}
+	lane.GoBatch(jobs)
 }
 
 // fallbackRequest builds the signed-copy request for an unverifiable
@@ -659,6 +677,9 @@ func (r *Replica) proposeLocked(batch []queuedReq) {
 	for i, q := range batch {
 		payloads[i] = q.payload
 		r.seen[q.digest] = reqInflight
+	}
+	if r.cfg.BatchOccupancy != nil {
+		r.cfg.BatchOccupancy.Record(len(payloads))
 	}
 	seq := r.nextSeq
 	r.nextSeq++
@@ -931,9 +952,14 @@ func (r *Replica) deliveryLoop() {
 		r.cond.Broadcast()
 		r.mu.Unlock()
 
-		for i, p := range payloads {
-			r.cfg.Deliver(ids.SeqNr(globalStart+uint64(i)), p)
-		}
+		// One callback per batch, null batches included: the layer
+		// above keys its commit-channel positions on batch sequence
+		// numbers, so even an empty decision must be announced.
+		r.cfg.Deliver(consensus.Batch{
+			Seq:      batchSeq,
+			Start:    ids.SeqNr(globalStart),
+			Payloads: payloads,
+		})
 	}
 }
 

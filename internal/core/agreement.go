@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 
@@ -11,15 +12,80 @@ import (
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/irmc"
+	"spider/internal/stats"
 	"spider/internal/wire"
 )
 
 // egroup bundles the agreement replica's per-execution-group state:
-// the IRMC pair connecting to it plus registry metadata.
+// the IRMC pair connecting to it, the bounded sender worker that
+// performs its (blocking) commit-channel sends, and registry metadata.
 type egroup struct {
 	entry      GroupEntry
 	reqRecv    irmc.Receiver
 	commitSend irmc.Sender
+	sendQ      *groupSender
+}
+
+// sendJob is one batch awaiting submission through a group's commit
+// channel. done receives exactly one value once the send finished
+// (successfully or not), which is how fanOut counts ne−z completions.
+type sendJob struct {
+	pos     ids.Position
+	payload []byte
+	done    chan<- struct{}
+}
+
+// groupSender serializes one execution group's commit-channel sends on
+// a single dedicated worker goroutine: fanOut enqueues one job per
+// batch — bounded work, no goroutine per request — and the worker
+// performs the potentially blocking Send. After stop, queued and new
+// jobs still signal done (the underlying channel is closed, so Send
+// returns immediately), keeping fanOut's accounting exact during
+// shutdown and group removal.
+type groupSender struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []sendJob
+	stopped bool
+}
+
+func newGroupSender() *groupSender {
+	q := &groupSender{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *groupSender) offer(job sendJob) {
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		job.done <- struct{}{}
+		return
+	}
+	q.queue = append(q.queue, job)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *groupSender) take() (sendJob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.queue) == 0 && !q.stopped {
+		q.cond.Wait()
+	}
+	if len(q.queue) == 0 {
+		return sendJob{}, false
+	}
+	job := q.queue[0]
+	q.queue = q.queue[1:]
+	return job, true
+}
+
+func (q *groupSender) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // AgreementReplica implements Figure 17 of the paper: it pulls client
@@ -35,13 +101,14 @@ type AgreementReplica struct {
 	mu   sync.Mutex
 	cond *sync.Cond // win advances and shutdown
 
-	sn     ids.SeqNr
-	winLo  ids.SeqNr
-	winHi  ids.SeqNr
-	t      map[ids.ClientID]uint64 // latest agreed counter per client
-	tplus  map[ids.ClientID]uint64 // next expected counter per client
-	hist   map[ids.SeqNr]histEntry // last CommitChannelCapacity Executes
-	groups map[ids.GroupID]*egroup
+	sn      ids.SeqNr
+	lastPos ids.Position // last commit-channel position handed to fanOut
+	winLo   ids.SeqNr
+	winHi   ids.SeqNr
+	t       map[ids.ClientID]uint64   // latest agreed counter per client
+	tplus   map[ids.ClientID]uint64   // next expected counter per client
+	hist    map[ids.Position]histEntry // last CommitChannelCapacity batches
+	groups  map[ids.GroupID]*egroup
 
 	recvLoops map[recvKey]bool // (group, client) loops already running
 
@@ -56,6 +123,12 @@ type AgreementReplica struct {
 	vmu    sync.Mutex
 	vcache map[crypto.Digest]struct{}
 	vfifo  []crypto.Digest
+
+	// undecodable counts ordered payloads that failed to decode in
+	// deliver — an invariant violation (validatePayload admitted them),
+	// so it is counted and logged once rather than silently swallowed.
+	undecodable     stats.Counter
+	undecodableOnce sync.Once
 
 	stopped bool
 	wg      sync.WaitGroup
@@ -83,7 +156,7 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 		me:        cfg.Suite.Node(),
 		t:         make(map[ids.ClientID]uint64),
 		tplus:     make(map[ids.ClientID]uint64),
-		hist:      make(map[ids.SeqNr]histEntry),
+		hist:      make(map[ids.Position]histEntry),
 		groups:    make(map[ids.GroupID]*egroup),
 		recvLoops: make(map[recvKey]bool),
 		vcache:    make(map[crypto.Digest]struct{}),
@@ -92,6 +165,17 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 	}
 	a.cond = sync.NewCond(&a.mu)
 
+	batch := cfg.ConsensusBatch
+	if batch <= 0 {
+		batch = 16
+	}
+	if batch > cfg.Tunables.AgreementWindow {
+		// Deliver paces on the batch's first sequence number, so a
+		// batch larger than AG-WIN cannot deadlock — but it would make
+		// the window meaningless; clamp to keep overshoot below one
+		// window.
+		batch = cfg.Tunables.AgreementWindow
+	}
 	pbftCfg := pbft.Config{
 		Group:          cfg.Group,
 		Suite:          cfg.Suite,
@@ -100,7 +184,8 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 		Deliver:        a.deliver,
 		Validate:       a.validatePayload,
 		RequestTimeout: cfg.ConsensusTimeout,
-		BatchSize:      cfg.ConsensusBatch,
+		BatchSize:      batch,
+		BatchOccupancy: cfg.BatchOccupancy,
 		Pipeline:       cfg.Pipeline,
 		NormalCaseAuth: cfg.ConsensusAuth,
 	}
@@ -151,16 +236,25 @@ func (a *AgreementReplica) Stop() {
 	}
 	a.mu.Unlock()
 
-	// Close the channels before stopping consensus: PBFT's delivery
-	// goroutine may be blocked inside a commit-channel Send, and only
-	// Close unblocks it.
+	// Close the channels before stopping consensus: a sender worker may
+	// be blocked inside a commit-channel Send (stalling the delivery
+	// goroutine in fanOut), and only Close unblocks it.
 	for _, g := range groups {
 		g.reqRecv.Close()
 		g.commitSend.Close()
+		g.sendQ.stop()
 	}
 	a.ag.Stop()
 	a.cp.Stop()
 	a.wg.Wait()
+}
+
+// UndecodablePayloads reports how many ordered payloads failed to
+// decode in deliver — zero in a healthy deployment; anything else
+// indicates a wire regression (payloads are vetted by validatePayload
+// before ordering).
+func (a *AgreementReplica) UndecodablePayloads() int64 {
+	return a.undecodable.Load()
 }
 
 // Seq returns the latest agreed sequence number.
@@ -229,12 +323,32 @@ func (a *AgreementReplica) attachGroupLocked(entry GroupEntry) error {
 		reqRecv.Close()
 		return err
 	}
-	a.groups[gid] = &egroup{
+	g := &egroup{
 		entry:      GroupEntry{Group: entry.Group.Clone(), Region: entry.Region},
 		reqRecv:    reqRecv,
 		commitSend: commitSend,
+		sendQ:      newGroupSender(),
 	}
+	a.groups[gid] = g
+	a.wg.Add(1)
+	go a.runGroupSender(g.sendQ, commitSend)
 	return nil
+}
+
+// runGroupSender is one execution group's dedicated commit-channel
+// sender worker.
+func (a *AgreementReplica) runGroupSender(q *groupSender, sender irmc.Sender) {
+	defer a.wg.Done()
+	for {
+		job, ok := q.take()
+		if !ok {
+			return
+		}
+		// Send blocks on flow control; after Close it returns ErrClosed
+		// immediately, so a stopping replica drains without stalling.
+		_ = sender.Send(0, job.pos, job.payload)
+		job.done <- struct{}{}
+	}
 }
 
 // ensureReceiveLoop spawns the per-(group, client) request receive
@@ -363,74 +477,131 @@ func (a *AgreementReplica) validatePayload(payload []byte) error {
 }
 
 // deliver is the consensus black box callback (lines 25–40 of
-// Figure 17). It runs on PBFT's delivery goroutine; blocking here
-// paces the whole agreement pipeline, which is exactly the AG-WIN
-// semantics of the paper.
-func (a *AgreementReplica) deliver(s ids.SeqNr, payload []byte) {
-	var wrapped WrappedRequest
-	if err := wire.Decode(payload, &wrapped); err != nil {
-		return // cannot happen for payloads passing validatePayload
+// Figure 17), lifted to whole batches: one consensus decision becomes
+// one commit-channel position. It runs on PBFT's delivery goroutine;
+// blocking here paces the whole agreement pipeline, which is exactly
+// the AG-WIN semantics of the paper. The commit-channel position is
+// the consensus batch sequence number, which every correct replica
+// assigns identically (A-Safety lifted to batches), so fs+1 senders
+// submit matching content per position without coordination.
+func (a *AgreementReplica) deliver(b consensus.Batch) {
+	pos := ids.Position(b.Seq)
+	end := b.End()
+
+	reqs := make([]WrappedRequest, len(b.Payloads))
+	undecodable := 0
+	for i, payload := range b.Payloads {
+		if err := wire.Decode(payload, &reqs[i]); err != nil {
+			// Must not happen: every ordered payload passed
+			// validatePayload, which decodes it. If a wire regression
+			// breaks that invariant anyway, keep the slot as a no-op
+			// (sequence numbering must stay dense) and make the event
+			// visible instead of silently swallowing it.
+			reqs[i] = WrappedRequest{}
+			undecodable++
+		}
+	}
+	if undecodable > 0 {
+		a.undecodable.Add(int64(undecodable))
+		a.undecodableOnce.Do(func() {
+			log.Printf("core: agreement replica %v: ordered payload failed to decode (seqs %d..%d); counting further occurrences in stats only",
+				a.me, b.Start, end)
+		})
 	}
 
 	a.mu.Lock()
-	for !a.stopped && s > a.winHi {
-		a.cond.Wait() // line 27: sleep until s ≤ max(win)
+	// Line 27: sleep until the batch's first sequence number is inside
+	// AG-WIN. Gating on Start (not end) keeps the old per-request
+	// liveness argument intact — everything below Start was delivered,
+	// so a checkpoint inside the window was already generated and will
+	// eventually stabilize and advance winHi. A batch may overshoot
+	// winHi by at most ConsensusBatch-1 sequence numbers, which is
+	// pacing slack, not a safety issue (the commit channel's capacity
+	// is the hard flow-control bound). Gating on end instead can
+	// deadlock: the batch that first crosses a ka boundary would block
+	// here before ever generating the checkpoint that moves the window.
+	for !a.stopped && b.Start > a.winHi {
+		a.cond.Wait()
 	}
 	if a.stopped {
 		a.mu.Unlock()
 		return
 	}
-	if s <= a.sn {
+	if pos <= a.lastPos {
 		a.mu.Unlock()
 		return // duplicate delivery after a checkpoint install
 	}
-	client := wrapped.Req.Client
-	if wrapped.Req.Counter > a.t[client] {
-		a.t[client] = wrapped.Req.Counter
+	for i := range reqs {
+		req := &reqs[i].Req
+		if !req.Client.Valid() {
+			continue // no-op slot
+		}
+		if req.Counter > a.t[req.Client] {
+			a.t[req.Client] = req.Counter
+		}
+		if req.Counter+1 > a.tplus[req.Client] {
+			a.tplus[req.Client] = req.Counter + 1
+		}
+		if req.Kind == KindAdmin {
+			a.applyAdminLocked(pos, req.Op)
+		}
 	}
-	if wrapped.Req.Counter+1 > a.tplus[client] {
-		a.tplus[client] = wrapped.Req.Counter + 1
+	he := histEntry{Pos: pos, Start: b.Start, Reqs: reqs}
+	a.hist[pos] = he
+	a.lastPos = pos
+	prev := a.sn
+	if end > a.sn {
+		a.sn = end
 	}
-	if wrapped.Req.Kind == KindAdmin {
-		a.applyAdminLocked(s, wrapped.Req.Op)
-	}
-	a.hist[s] = histEntry{Seq: s, Req: wrapped}
 	a.pruneHistLocked()
-	a.sn = s
 
 	targets := make([]*egroup, 0, len(a.groups))
 	for _, g := range a.groups {
 		targets = append(targets, g)
 	}
-	ckptDue := uint64(s)%uint64(a.cfg.Tunables.AgreementCheckpointInterval) == 0
+	// Checkpoints fire when a batch crosses a ka boundary (batches no
+	// longer land exactly on multiples); every replica sees the same
+	// batch ends, so all of them snapshot at the same sequence numbers.
+	ka := uint64(a.cfg.Tunables.AgreementCheckpointInterval)
+	ckptDue := len(reqs) > 0 && uint64(end)/ka > uint64(prev)/ka
 	var snap []byte
 	if ckptDue {
 		snap = a.snapshotLocked()
 	}
 	a.mu.Unlock()
 
-	a.fanOut(s, &wrapped, targets)
+	a.fanOut(&he, targets)
 
 	if ckptDue {
-		a.cp.Generate(s, snap)
+		a.cp.Generate(end, snap)
 	}
 }
 
-// executeFor builds the commit payload for one group: full requests
-// for writes and admin ops everywhere, full for the designated group
-// of a strong read, placeholders elsewhere (Section 3.3).
-func executeFor(s ids.SeqNr, wrapped *WrappedRequest, gid ids.GroupID) []byte {
-	em := ExecuteMsg{Seq: s, Full: true, Req: *wrapped}
-	if wrapped.Req.Kind == KindStrongRead && wrapped.Group != gid {
-		em = ExecuteMsg{Seq: s, Full: false, Client: wrapped.Req.Client, Counter: wrapped.Req.Counter}
+// executeBatchFor builds one group's commit payload for a batch: full
+// requests for writes and admin ops everywhere, full for the
+// designated group of a strong read, placeholders elsewhere
+// (Section 3.3); request slots without a valid client stay no-ops.
+func executeBatchFor(he *histEntry, gid ids.GroupID) []byte {
+	em := ExecuteBatchMsg{Start: he.Start, Items: make([]ExecuteItem, len(he.Reqs))}
+	for i := range he.Reqs {
+		wrapped := &he.Reqs[i]
+		switch {
+		case !wrapped.Req.Client.Valid():
+			// no-op slot: zero item
+		case wrapped.Req.Kind == KindStrongRead && wrapped.Group != gid:
+			em.Items[i] = ExecuteItem{Client: wrapped.Req.Client, Counter: wrapped.Req.Counter}
+		default:
+			em.Items[i] = ExecuteItem{Full: true, Req: *wrapped}
+		}
 	}
 	return wire.Encode(&em)
 }
 
-// fanOut sends the Execute through every commit channel, returning
-// once ne−z sends completed; stragglers finish in the background
-// (global flow control, Section 3.5).
-func (a *AgreementReplica) fanOut(s ids.SeqNr, wrapped *WrappedRequest, targets []*egroup) {
+// fanOut hands one batch to every group's sender worker — one Send,
+// one signature and one wide-area frame per group per batch — and
+// returns once ne−z sends completed; stragglers finish in the
+// background (global flow control, Section 3.5).
+func (a *AgreementReplica) fanOut(he *histEntry, targets []*egroup) {
 	if len(targets) == 0 {
 		return
 	}
@@ -440,33 +611,31 @@ func (a *AgreementReplica) fanOut(s ids.SeqNr, wrapped *WrappedRequest, targets 
 	}
 	done := make(chan struct{}, len(targets))
 	for _, g := range targets {
-		payload := executeFor(s, wrapped, g.entry.Group.ID)
-		sender := g.commitSend
-		a.wg.Add(1)
-		go func() {
-			defer a.wg.Done()
-			_ = sender.Send(0, ids.Position(s), payload)
-			done <- struct{}{}
-		}()
+		if a.cfg.SendOccupancy != nil {
+			a.cfg.SendOccupancy.Record(len(he.Reqs))
+		}
+		g.sendQ.offer(sendJob{pos: he.Pos, payload: executeBatchFor(he, g.entry.Group.ID), done: done})
 	}
 	for i := 0; i < need; i++ {
 		<-done
 	}
 }
 
-// pruneHistLocked keeps hist at the commit-channel capacity.
+// pruneHistLocked keeps hist at the commit-channel capacity (counted
+// in batch positions, matching the channel's window unit).
 func (a *AgreementReplica) pruneHistLocked() {
-	capacity := ids.SeqNr(a.cfg.Tunables.CommitChannelCapacity)
-	for seq := range a.hist {
-		if seq+capacity <= a.sn+1 {
-			delete(a.hist, seq)
+	capacity := ids.Position(a.cfg.Tunables.CommitChannelCapacity)
+	for pos := range a.hist {
+		if pos+capacity <= a.lastPos+1 {
+			delete(a.hist, pos)
 		}
 	}
 }
 
 // applyAdminLocked executes a reconfiguration command (Section 3.6).
-// seq is the agreement sequence number the command was ordered at.
-func (a *AgreementReplica) applyAdminLocked(seq ids.SeqNr, op []byte) {
+// pos is the commit-channel position of the batch the command was
+// ordered in.
+func (a *AgreementReplica) applyAdminLocked(pos ids.Position, op []byte) {
 	admin, err := DecodeAdminOp(op)
 	if err != nil {
 		return
@@ -476,13 +645,15 @@ func (a *AgreementReplica) applyAdminLocked(seq ids.SeqNr, op []byte) {
 		if err := a.attachGroupLocked(GroupEntry{Group: admin.Group, Region: admin.Region}); err != nil {
 			return
 		}
-		// Anchor the fresh commit channel at the current sequence
-		// number: the new group's replicas, asking for sequence 1,
-		// get TooOld and fetch an execution checkpoint from another
-		// group — the paper's join procedure. Without this the
-		// fan-out would block on a channel whose window never moves.
-		if seq > 1 {
-			a.groups[admin.Group.ID].commitSend.MoveWindow(0, ids.Position(seq))
+		// Anchor the fresh commit channel at the current position: the
+		// new group's replicas, asking for position 1, get TooOld and
+		// fetch an execution checkpoint from another group — the
+		// paper's join procedure. Without this the fan-out would block
+		// on a channel whose window never moves. The anchoring batch
+		// itself (it contains this admin op) is still sent: the window
+		// starts at pos.
+		if pos > 1 {
+			a.groups[admin.Group.ID].commitSend.MoveWindow(0, pos)
 		}
 	case AdminRemoveGroup:
 		g, ok := a.groups[admin.Group.ID]
@@ -496,29 +667,31 @@ func (a *AgreementReplica) applyAdminLocked(seq ids.SeqNr, op []byte) {
 			}
 		}
 		// Closing the channels unblocks the receive loops, which then
-		// terminate.
+		// terminate; stopping the sender worker lets it drain.
 		g.reqRecv.Close()
 		g.commitSend.Close()
+		g.sendQ.stop()
 	}
 }
 
 // snapshotLocked builds the agreement checkpoint content (line 40).
 func (a *AgreementReplica) snapshotLocked() []byte {
 	snap := agreementSnapshot{
-		Seq:  a.sn,
-		T:    make(map[ids.ClientID]uint64, len(a.t)),
-		Hist: make([]histEntry, 0, len(a.hist)),
+		Seq:     a.sn,
+		NextPos: a.lastPos + 1,
+		T:       make(map[ids.ClientID]uint64, len(a.t)),
+		Hist:    make([]histEntry, 0, len(a.hist)),
 	}
 	for c, v := range a.t {
 		snap.T[c] = v
 	}
-	seqs := make([]ids.SeqNr, 0, len(a.hist))
-	for s := range a.hist {
-		seqs = append(seqs, s)
+	positions := make([]ids.Position, 0, len(a.hist))
+	for pos := range a.hist {
+		positions = append(positions, pos)
 	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, s := range seqs {
-		snap.Hist = append(snap.Hist, a.hist[s])
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		snap.Hist = append(snap.Hist, a.hist[pos])
 	}
 	snap.Groups = a.registryLocked().Entries
 	return wire.Encode(&snap)
@@ -536,12 +709,13 @@ func (a *AgreementReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
 		a.mu.Unlock()
 		return
 	}
-	// Move every commit channel's window (line 45): positions below
-	// seq - |hist| + 1 can no longer be resent.
-	histLen := ids.SeqNr(len(snap.Hist))
-	moveTo := ids.Position(1)
-	if seq > histLen {
-		moveTo = ids.Position(seq-histLen) + 1
+	// Move every commit channel's window (line 45): positions below the
+	// oldest batch in the checkpoint's history can no longer be resent.
+	moveTo := snap.NextPos
+	for i := range snap.Hist {
+		if snap.Hist[i].Pos < moveTo {
+			moveTo = snap.Hist[i].Pos
+		}
 	}
 	for _, g := range a.groups {
 		g.commitSend.MoveWindow(0, moveTo)
@@ -553,17 +727,17 @@ func (a *AgreementReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
 		// Reconcile the registry first so commit channels exist for
 		// every group in the snapshot.
 		a.reconcileGroupsLocked(snap.Groups)
-		from := a.sn
 		for _, he := range snap.Hist {
-			if he.Seq > from && he.Seq <= seq {
+			if he.Pos > a.lastPos {
 				missing = append(missing, he)
 			}
 		}
 		a.sn = seq
+		a.lastPos = snap.NextPos - 1
 		a.t = snap.T
-		a.hist = make(map[ids.SeqNr]histEntry, len(snap.Hist))
+		a.hist = make(map[ids.Position]histEntry, len(snap.Hist))
 		for _, he := range snap.Hist {
-			a.hist[he.Seq] = he
+			a.hist[he.Pos] = he
 		}
 		for c, v := range a.t {
 			if v+1 > a.tplus[c] {
@@ -584,11 +758,10 @@ func (a *AgreementReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
 	// Let consensus forget everything the checkpoint covers (line 46).
 	a.ag.GC(seq + 1)
 
-	// Resend the skipped Executes through the commit channels
+	// Resend the skipped batches through the commit channels
 	// (lines 52–56); ne−z semantics as in normal fan-out.
 	for i := range missing {
-		he := missing[i]
-		a.fanOut(he.Seq, &he.Req, targets)
+		a.fanOut(&missing[i], targets)
 	}
 }
 
@@ -604,6 +777,7 @@ func (a *AgreementReplica) reconcileGroupsLocked(entries []GroupEntry) {
 			delete(a.groups, gid)
 			g.reqRecv.Close()
 			g.commitSend.Close()
+			g.sendQ.stop()
 		}
 	}
 	for gid, e := range want {

@@ -26,7 +26,30 @@ type Client struct {
 	counter uint64
 	waiting *replyWait
 
+	// Reply verification runs off the transport handler on per-replica
+	// crypto lanes: each replica's replies are opened and dispatched in
+	// arrival order while the MAC checks of different replicas overlap
+	// across the pipeline workers — a many-client benchmark process no
+	// longer serializes every reply on one inbox goroutine.
+	pipe  *crypto.Pipeline
+	lanes map[ids.NodeID]*crypto.Lane // guarded by mu
+
+	// registryVotes receives registry replies while a QueryRegistry is
+	// in flight; nil otherwise. Guarded by mu.
+	registryVotes chan registryVote
+
+	// replyHook, when set by tests, observes every verified reply in
+	// dispatch order (called before the reply is applied).
+	replyHook func(from ids.NodeID, reply *Reply)
+
 	registered sync.Once
+}
+
+// registryVote is one agreement replica's registry reply; the sender
+// identity travels along so the quorum counts distinct replicas.
+type registryVote struct {
+	from ids.NodeID
+	info RegistryInfo
 }
 
 // replyWait collects replies for one in-flight request.
@@ -46,7 +69,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Client{cfg: cfg, group: cfg.Group.Clone(), counter: cfg.CounterStart}, nil
+	pipe := cfg.Pipeline
+	if pipe == nil {
+		pipe = crypto.DefaultPipeline()
+	}
+	return &Client{
+		cfg:     cfg,
+		group:   cfg.Group.Clone(),
+		counter: cfg.CounterStart,
+		pipe:    pipe,
+		lanes:   make(map[ids.NodeID]*crypto.Lane),
+	}, nil
 }
 
 // Group returns the execution group the client currently uses.
@@ -93,7 +126,57 @@ func (c *Client) Admin(op AdminOp) error {
 
 func (c *Client) ensureHandler() {
 	c.registered.Do(func() {
-		c.cfg.Node.Handle(replyStream(), c.onReply)
+		c.cfg.Node.Handle(replyStream(), c.onInbox)
+	})
+}
+
+// laneFor returns the crypto lane ordering one replica's inbound
+// replies, creating it on demand — but only for nodes that are
+// execution-group or agreement-group members: the transport sender
+// identity is an unauthenticated claim, and per-claimed-id state would
+// be an allocation amplifier. Returns nil for strangers.
+func (c *Client) laneFor(from ids.NodeID) *crypto.Lane {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lane, ok := c.lanes[from]
+	if !ok {
+		if !c.group.Contains(from) && !c.cfg.AgreementGroup.Contains(from) {
+			return nil
+		}
+		lane = c.pipe.NewLane()
+		c.lanes[from] = lane
+	}
+	return lane
+}
+
+// onInbox is the reply-stream transport handler. It only schedules the
+// frame: MAC verification and decoding run on the sending replica's
+// crypto lane, and the verified message is dispatched in per-replica
+// arrival order (ROADMAP: client-side reply verification off the
+// stream handler). Frames from strangers are dropped by laneFor.
+func (c *Client) onInbox(from ids.NodeID, payload []byte) {
+	lane := c.laneFor(from)
+	if lane == nil {
+		return
+	}
+	var (
+		tag wire.TypeTag
+		msg wire.Message
+	)
+	lane.Go(func() error {
+		var err error
+		tag, msg, err = openClientFrame(c.cfg.Suite, crypto.DomainReply, from, payload)
+		return err
+	}, func(err error) {
+		if err != nil {
+			return
+		}
+		switch tag {
+		case tagReply:
+			c.applyReply(from, msg.(*Reply))
+		case tagRegistryInfo:
+			c.applyRegistryInfo(from, msg.(*RegistryInfo))
+		}
 	})
 }
 
@@ -153,17 +236,15 @@ func (c *Client) do(kind RequestKind, op []byte) ([]byte, error) {
 	}
 }
 
-// onReply collects replica replies; fe+1 matching results complete the
-// pending operation (lines 17–24 of Figure 15).
-func (c *Client) onReply(from ids.NodeID, payload []byte) {
-	tag, msg, err := openClientFrame(c.cfg.Suite, crypto.DomainReply, from, payload)
-	if err != nil || tag != tagReply {
-		return
-	}
-	reply := msg.(*Reply)
-
+// applyReply collects replica replies; fe+1 matching results complete
+// the pending operation (lines 17–24 of Figure 15). It runs on the
+// sender's crypto lane after the envelope verified.
+func (c *Client) applyReply(from ids.NodeID, reply *Reply) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.replyHook != nil {
+		c.replyHook(from, reply)
+	}
 	wait := c.waiting
 	if wait == nil || reply.Counter != wait.counter {
 		return
@@ -188,6 +269,24 @@ func (c *Client) onReply(from ids.NodeID, payload []byte) {
 	}
 }
 
+// applyRegistryInfo forwards a verified registry reply to the pending
+// query, if any.
+func (c *Client) applyRegistryInfo(from ids.NodeID, info *RegistryInfo) {
+	if !c.cfg.AgreementGroup.Contains(from) {
+		return
+	}
+	c.mu.Lock()
+	votes := c.registryVotes
+	c.mu.Unlock()
+	if votes == nil {
+		return
+	}
+	select {
+	case votes <- registryVote{from: from, info: *info}:
+	default: // query already satisfied or abandoned
+	}
+}
+
 // QueryRegistry asks the agreement group for the execution-replica
 // registry, accepting the first view confirmed by fa+1 replicas.
 func (c *Client) QueryRegistry() (RegistryInfo, error) {
@@ -196,23 +295,15 @@ func (c *Client) QueryRegistry() (RegistryInfo, error) {
 	}
 	c.ensureHandler()
 
-	votes := make(chan RegistryInfo, len(c.cfg.AgreementGroup.Members))
-	c.cfg.Node.Handle(replyStream(), func(from ids.NodeID, payload []byte) {
-		// Registry replies and operation replies share the inbox;
-		// dispatch on the tag and forward anything else to the
-		// regular handler.
-		tag, msg, err := openClientFrame(c.cfg.Suite, crypto.DomainReply, from, payload)
-		if err != nil {
-			return
-		}
-		if tag == tagRegistryInfo && c.cfg.AgreementGroup.Contains(from) {
-			votes <- *msg.(*RegistryInfo)
-			return
-		}
-		if tag == tagReply {
-			c.onReply(from, payload)
-		}
-	})
+	votes := make(chan registryVote, len(c.cfg.AgreementGroup.Members))
+	c.mu.Lock()
+	c.registryVotes = votes
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.registryVotes = nil
+		c.mu.Unlock()
+	}()
 
 	query := RegistryQuery{Client: c.cfg.ID}
 	frame := clientRegistry.EncodeFrame(tagRegistryQuery, &query)
@@ -222,16 +313,21 @@ func (c *Client) QueryRegistry() (RegistryInfo, error) {
 	}
 
 	need := c.cfg.AgreementGroup.F + 1
-	counts := make(map[string]int)
+	// fa+1 *distinct* replicas must report identical contents: a single
+	// faulty replica resending a forged view must never reach quorum.
+	voters := make(map[string]map[ids.NodeID]bool)
 	infos := make(map[string]RegistryInfo)
 	deadline := time.After(c.cfg.Deadline)
 	for {
 		select {
-		case info := <-votes:
-			key := string(wire.Encode(&RegistryInfo{Entries: info.Entries})) // ignore Seq for matching
-			counts[key]++
-			infos[key] = info
-			if counts[key] >= need {
+		case v := <-votes:
+			key := string(wire.Encode(&RegistryInfo{Entries: v.info.Entries})) // ignore Seq for matching
+			if voters[key] == nil {
+				voters[key] = make(map[ids.NodeID]bool)
+			}
+			voters[key][v.from] = true
+			infos[key] = v.info
+			if len(voters[key]) >= need {
 				return infos[key], nil
 			}
 		case <-deadline:

@@ -209,7 +209,12 @@ type AgreementConfig struct {
 	// ConsensusTimeout is PBFT's request timeout (defaults to 1s; the
 	// agreement group sits in one region, so it can be tight).
 	ConsensusTimeout time.Duration
-	// ConsensusBatch caps payloads per consensus instance (default 8).
+	// ConsensusBatch caps payloads per consensus instance (default 16,
+	// clamped to AgreementWindow). The whole batch travels the commit
+	// data plane as one unit — one commit-channel position, one signed
+	// Send per execution group — so this knob trades latency for
+	// end-to-end throughput as a first-class workload dimension.
+	// ConsensusBatch = 1 restores request-at-a-time semantics.
 	ConsensusBatch int
 	// ConsensusAuth selects how PBFT authenticates its normal-case
 	// messages. The zero value is the paper's agreement-cluster
@@ -220,6 +225,12 @@ type AgreementConfig struct {
 	ConsensusAuth pbft.AuthMode
 	// Meter, when set, accounts this replica's processing time.
 	Meter *stats.CPUMeter
+	// BatchOccupancy, when set, records the requests per consensus
+	// batch this replica proposes while leading.
+	BatchOccupancy *stats.Occupancy
+	// SendOccupancy, when set, records the requests per commit-channel
+	// Send, making underfilled batches visible in harness output.
+	SendOccupancy *stats.Occupancy
 	// Pipeline runs consensus and channel crypto off the transport
 	// goroutines and the replica locks; nil selects the process-wide
 	// default pool.
@@ -259,6 +270,9 @@ type ClientConfig struct {
 	// counter); short-lived processes pass a persisted or time-derived
 	// value here.
 	CounterStart uint64
+	// Pipeline runs reply MAC verification off the inbox stream handler
+	// on per-replica lanes; nil selects the process-wide default pool.
+	Pipeline *crypto.Pipeline
 }
 
 func (c *ClientConfig) validate() error {

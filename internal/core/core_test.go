@@ -40,6 +40,14 @@ func testTunables() Tunables {
 // execution groups (nodes 10g+1..10g+3, group ids 10g).
 func newDeployment(t *testing.T, numExec int, tun Tunables, adminClients []ids.ClientID, clientIDs ...ids.ClientID) *deployment {
 	t.Helper()
+	return newDeploymentBatch(t, numExec, tun, 0, adminClients, clientIDs...)
+}
+
+// newDeploymentBatch is newDeployment with an explicit consensus batch
+// size (0 = default), so tests can pin BatchSize = 1 and verify the
+// unbatched semantics stay reachable.
+func newDeploymentBatch(t *testing.T, numExec int, tun Tunables, batch int, adminClients []ids.ClientID, clientIDs ...ids.ClientID) *deployment {
+	t.Helper()
 	d := &deployment{
 		t:         t,
 		net:       memnet.New(memnet.Options{}),
@@ -80,6 +88,7 @@ func newDeployment(t *testing.T, numExec int, tun Tunables, adminClients []ids.C
 			Node:             d.net.Node(m),
 			Tunables:         tun,
 			ConsensusTimeout: 500 * time.Millisecond,
+			ConsensusBatch:   batch,
 		})
 		if err != nil {
 			t.Fatalf("agreement replica %v: %v", m, err)

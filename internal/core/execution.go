@@ -24,6 +24,7 @@ type ExecutionReplica struct {
 	cond *sync.Cond // signals sn advances (checkpoint installs)
 
 	sn      ids.SeqNr
+	pos     ids.Position                     // next commit-channel position (batch) to receive
 	t       map[ids.ClientID]uint64          // latest forwarded counter per client
 	replies map[ids.ClientID]replyCacheEntry // u[c]
 
@@ -54,6 +55,7 @@ func NewExecutionReplica(cfg ExecutionConfig) (*ExecutionReplica, error) {
 	e := &ExecutionReplica{
 		cfg:        cfg,
 		me:         cfg.Suite.Node(),
+		pos:        1,
 		t:          make(map[ids.ClientID]uint64),
 		replies:    make(map[ids.ClientID]replyCacheEntry),
 		forwarders: make(map[ids.ClientID]*forwarder),
@@ -342,7 +344,9 @@ func (e *ExecutionReplica) sendReply(client ids.ClientID, counter uint64, result
 
 // --- ordered execution ----------------------------------------------------
 
-// mainLoop implements lines 24–40 of Figure 16.
+// mainLoop implements lines 24–40 of Figure 16, lifted to batches: one
+// commit-channel position carries one consensus batch, which is
+// decoded once and applied in order under a single lock acquisition.
 func (e *ExecutionReplica) mainLoop() {
 	defer e.wg.Done()
 	for {
@@ -351,28 +355,30 @@ func (e *ExecutionReplica) mainLoop() {
 			e.mu.Unlock()
 			return
 		}
-		next := e.sn + 1
+		pos := e.pos
+		sn := e.sn
 		e.mu.Unlock()
 
-		payload, err := e.commitRecv.Receive(0, ids.Position(next))
+		payload, err := e.commitRecv.Receive(0, pos)
 		if err != nil {
-			if tooOld, ok := irmc.AsTooOld(err); ok {
-				// We missed agreed requests: fetch an execution
-				// checkpoint (ours or another group's) and wait for
-				// it to install (lines 27–29).
-				e.cp.Fetch(ids.SeqNr(tooOld.NewStart) - 1)
-				e.waitSeqAdvance(next, 50*time.Millisecond)
+			if _, ok := irmc.AsTooOld(err); ok {
+				// The window moved past us: we missed whole batches.
+				// Fetch an execution checkpoint (ours or another
+				// group's) covering newer state and wait for it to
+				// install (lines 27–29); installs advance pos.
+				e.cp.Fetch(sn + 1)
+				e.waitPosAdvance(pos, 50*time.Millisecond)
 				continue
 			}
 			return // channel closed
 		}
 
-		var em ExecuteMsg
+		var em ExecuteBatchMsg
 		if err := wire.Decode(payload, &em); err != nil {
-			// A corrupt Execute cannot pass fa+1 matching senders;
-			// skipping it would desynchronize us, so halt this seq
-			// until a checkpoint repairs the state.
-			e.waitSeqAdvance(next, 100*time.Millisecond)
+			// A corrupt batch cannot pass fa+1 matching senders;
+			// skipping it would desynchronize us, so halt this
+			// position until a checkpoint repairs the state.
+			e.waitPosAdvance(pos, 100*time.Millisecond)
 			continue
 		}
 
@@ -381,14 +387,39 @@ func (e *ExecutionReplica) mainLoop() {
 			e.mu.Unlock()
 			return
 		}
-		if em.Seq != next || e.sn+1 != next {
+		if e.pos != pos {
 			// A checkpoint installed while we were blocked; redo.
 			e.mu.Unlock()
 			continue
 		}
-		e.executeLocked(&em)
-		e.sn = next
-		ckptDue := uint64(e.sn)%uint64(e.cfg.Tunables.ExecutionCheckpointInterval) == 0
+		if em.Start > e.sn+1 {
+			// The batch skips sequence numbers we never executed
+			// (agreement-side garbage collection outran us); only a
+			// checkpoint can bridge the gap.
+			fetchFrom := e.sn + 1
+			e.mu.Unlock()
+			e.cp.Fetch(fetchFrom)
+			e.waitPosAdvance(pos, 100*time.Millisecond)
+			continue
+		}
+		prev := e.sn
+		for i := range em.Items {
+			seq := em.Start + ids.SeqNr(i)
+			if seq <= prev {
+				continue // covered by an installed checkpoint
+			}
+			e.executeItemLocked(&em.Items[i])
+		}
+		if end := em.End(); end > e.sn {
+			e.sn = end
+		}
+		e.pos = pos + 1
+		// Execution checkpoints fire when a batch crosses a ke
+		// boundary; batch ends are identical at all replicas, so the
+		// group still snapshots at matching sequence numbers.
+		ke := uint64(e.cfg.Tunables.ExecutionCheckpointInterval)
+		ckptDue := uint64(e.sn)/ke > uint64(prev)/ke
+		snapSeq := e.sn
 		var snap []byte
 		if ckptDue {
 			snap = e.snapshotLocked()
@@ -396,17 +427,17 @@ func (e *ExecutionReplica) mainLoop() {
 		e.mu.Unlock()
 
 		if ckptDue {
-			e.cp.Generate(next, snap)
+			e.cp.Generate(snapSeq, snap)
 		}
 	}
 }
 
-// waitSeqAdvance blocks until sn reaches at least next or the timeout
-// elapses (wakeups come from checkpoint installs).
-func (e *ExecutionReplica) waitSeqAdvance(next ids.SeqNr, timeout time.Duration) {
+// waitPosAdvance blocks until the commit position advances past pos or
+// the timeout elapses (advances come from checkpoint installs).
+func (e *ExecutionReplica) waitPosAdvance(pos ids.Position, timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	e.mu.Lock()
-	for !e.stopped && e.sn+1 <= next {
+	for !e.stopped && e.pos <= pos {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			break
@@ -419,17 +450,21 @@ func (e *ExecutionReplica) waitSeqAdvance(next ids.SeqNr, timeout time.Duration)
 	e.mu.Unlock()
 }
 
-// executeLocked implements lines 31–38 of Figure 16.
-func (e *ExecutionReplica) executeLocked(em *ExecuteMsg) {
-	if !em.Full {
+// executeItemLocked implements lines 31–38 of Figure 16 for one
+// request slot of a batch.
+func (e *ExecutionReplica) executeItemLocked(item *ExecuteItem) {
+	if !item.Full {
+		if !item.Client.Valid() {
+			return // no-op slot (an undecodable payload upstream)
+		}
 		// Strong-read placeholder for another group: remember the
 		// counter so duplicates are filtered, store no result.
-		if cur, ok := e.replies[em.Client]; !ok || cur.Counter < em.Counter {
-			e.replies[em.Client] = replyCacheEntry{Counter: em.Counter, Placeholder: true}
+		if cur, ok := e.replies[item.Client]; !ok || cur.Counter < item.Counter {
+			e.replies[item.Client] = replyCacheEntry{Counter: item.Counter, Placeholder: true}
 		}
 		return
 	}
-	req := &em.Req.Req
+	req := &item.Req.Req
 	cur, seen := e.replies[req.Client]
 	if seen && cur.Counter >= req.Counter {
 		return // at-most-once: old or duplicate request (line 34)
@@ -452,7 +487,7 @@ func (e *ExecutionReplica) executeLocked(em *ExecuteMsg) {
 	if req.Counter > e.t[req.Client] {
 		e.t[req.Client] = req.Counter
 	}
-	if em.Req.Group == e.cfg.Group.ID {
+	if item.Req.Group == e.cfg.Group.ID {
 		// Only the client's own group answers (line 37).
 		e.sendReply(req.Client, req.Counter, result)
 	}
@@ -462,6 +497,7 @@ func (e *ExecutionReplica) executeLocked(em *ExecuteMsg) {
 func (e *ExecutionReplica) snapshotLocked() []byte {
 	snap := execSnapshot{
 		Seq:     e.sn,
+		NextPos: e.pos,
 		Replies: make(map[ids.ClientID]replyCacheEntry, len(e.replies)),
 		App:     e.cfg.App.Snapshot(),
 	}
@@ -482,8 +518,9 @@ func (e *ExecutionReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
 	if e.stopped {
 		return
 	}
-	// Permit commit-channel garbage collection up to the checkpoint.
-	e.commitRecv.MoveWindow(0, ids.Position(seq)+1)
+	// Permit commit-channel garbage collection up to the checkpoint
+	// (window moves are in batch positions and only ever advance).
+	e.commitRecv.MoveWindow(0, snap.NextPos)
 	if seq < e.sn {
 		return
 	}
@@ -498,6 +535,9 @@ func (e *ExecutionReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
 			}
 		}
 		e.sn = seq
+	}
+	if snap.NextPos > e.pos {
+		e.pos = snap.NextPos
 	}
 	e.cond.Broadcast()
 }

@@ -103,11 +103,12 @@ func (r *WrappedRequest) UnmarshalWire(rd *wire.Reader) {
 	r.Group = rd.ReadGroup()
 }
 
-// ExecuteMsg is the commit-channel payload: ⟨Execute, r, s⟩ for full
-// requests, or the placeholder variant (client and counter only) that
-// non-designated groups receive for strong reads.
-type ExecuteMsg struct {
-	Seq     ids.SeqNr
+// ExecuteItem is one request slot of an ExecuteBatchMsg: a full
+// request (⟨Execute, r, s⟩ in the paper), the placeholder variant
+// (client and counter only) that non-designated groups receive for
+// strong reads, or — when neither Full nor a valid Client is set — a
+// no-op slot that only consumes its sequence number.
+type ExecuteItem struct {
 	Full    bool
 	Req     WrappedRequest // set when Full
 	Client  ids.ClientID   // placeholder fields when !Full
@@ -115,8 +116,7 @@ type ExecuteMsg struct {
 }
 
 // MarshalWire implements wire.Marshaler.
-func (m *ExecuteMsg) MarshalWire(w *wire.Writer) {
-	w.WriteSeq(m.Seq)
+func (m *ExecuteItem) MarshalWire(w *wire.Writer) {
 	w.WriteBool(m.Full)
 	if m.Full {
 		m.Req.MarshalWire(w)
@@ -127,14 +127,62 @@ func (m *ExecuteMsg) MarshalWire(w *wire.Writer) {
 }
 
 // UnmarshalWire implements wire.Unmarshaler.
-func (m *ExecuteMsg) UnmarshalWire(rd *wire.Reader) {
-	m.Seq = rd.ReadSeq()
+func (m *ExecuteItem) UnmarshalWire(rd *wire.Reader) {
 	m.Full = rd.ReadBool()
 	if m.Full {
 		m.Req.UnmarshalWire(rd)
 	} else {
 		m.Client = rd.ReadClient()
 		m.Counter = rd.ReadUint64()
+	}
+}
+
+// MaxBatchItems bounds the requests one commit-channel position may
+// carry. It is far above any sane consensus batch size; its job is to
+// make oversized (or length-corrupted) batches fail decoding instead
+// of provoking huge allocations.
+const MaxBatchItems = 4096
+
+// ExecuteBatchMsg is the commit-channel payload: every Execute of one
+// consensus batch travels in a single subchannel position, so the
+// per-position costs — one signed Send per execution group, one window
+// step, one wide-area frame — are paid once per batch instead of once
+// per request. Item i carries the request agreed at sequence number
+// Start+i; an empty Items slice announces a null batch (a view change
+// filled a pipeline gap) whose position must still be consumed.
+type ExecuteBatchMsg struct {
+	Start ids.SeqNr
+	Items []ExecuteItem
+}
+
+// End returns the sequence number of the last item, or Start-1 when
+// the batch is empty.
+func (m *ExecuteBatchMsg) End() ids.SeqNr {
+	return m.Start + ids.SeqNr(len(m.Items)) - 1
+}
+
+// MarshalWire implements wire.Marshaler.
+func (m *ExecuteBatchMsg) MarshalWire(w *wire.Writer) {
+	w.WriteSeq(m.Start)
+	w.WriteInt(len(m.Items))
+	for i := range m.Items {
+		m.Items[i].MarshalWire(w)
+	}
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *ExecuteBatchMsg) UnmarshalWire(rd *wire.Reader) {
+	m.Start = rd.ReadSeq()
+	n := rd.ReadInt()
+	if n < 0 || n > MaxBatchItems {
+		// Poison the reader so the oversized claim fails Decode rather
+		// than silently yielding an empty batch.
+		rd.ReadRaw(1 << 30)
+		return
+	}
+	m.Items = make([]ExecuteItem, n)
+	for i := range m.Items {
+		m.Items[i].UnmarshalWire(rd)
 	}
 }
 
@@ -373,15 +421,22 @@ type replyCacheEntry struct {
 }
 
 // execSnapshot is the execution checkpoint content: the reply cache
-// plus the application snapshot (Section 3.4).
+// plus the application snapshot (Section 3.4). NextPos is the commit
+// channel position of the first batch NOT covered by the snapshot;
+// commit positions count batches, so a replica restoring this snapshot
+// resumes receiving there. It is identical across groups (every commit
+// channel carries the same batches at the same positions), which is
+// what lets a joining group adopt another group's checkpoint.
 type execSnapshot struct {
 	Seq     ids.SeqNr
+	NextPos ids.Position
 	Replies map[ids.ClientID]replyCacheEntry
 	App     []byte
 }
 
 func (s *execSnapshot) MarshalWire(w *wire.Writer) {
 	w.WriteSeq(s.Seq)
+	w.WritePos(s.NextPos)
 	clients := make([]ids.ClientID, 0, len(s.Replies))
 	for c := range s.Replies {
 		clients = append(clients, c)
@@ -400,6 +455,7 @@ func (s *execSnapshot) MarshalWire(w *wire.Writer) {
 
 func (s *execSnapshot) UnmarshalWire(rd *wire.Reader) {
 	s.Seq = rd.ReadSeq()
+	s.NextPos = rd.ReadPos()
 	n := rd.ReadInt()
 	if n < 0 || n > 1<<22 {
 		return
@@ -416,36 +472,60 @@ func (s *execSnapshot) UnmarshalWire(rd *wire.Reader) {
 	s.App = rd.ReadBytes()
 }
 
-// histEntry is one remembered Execute: enough to rebuild the per-group
-// commit-channel payloads.
+// histEntry is one remembered batch of Executes: its commit-channel
+// position, the sequence number of its first request, and the ordered
+// requests — enough to rebuild the per-group commit-channel payloads.
+// A request slot whose client id is invalid marks a no-op (a payload
+// that failed to decode at delivery; see AgreementReplica.deliver).
 type histEntry struct {
-	Seq ids.SeqNr
-	Req WrappedRequest
+	Pos   ids.Position
+	Start ids.SeqNr
+	Reqs  []WrappedRequest
+}
+
+// end returns the sequence number of the entry's last request.
+func (h *histEntry) end() ids.SeqNr {
+	return h.Start + ids.SeqNr(len(h.Reqs)) - 1
 }
 
 func (h *histEntry) MarshalWire(w *wire.Writer) {
-	w.WriteSeq(h.Seq)
-	h.Req.MarshalWire(w)
+	w.WritePos(h.Pos)
+	w.WriteSeq(h.Start)
+	w.WriteInt(len(h.Reqs))
+	for i := range h.Reqs {
+		h.Reqs[i].MarshalWire(w)
+	}
 }
 
 func (h *histEntry) UnmarshalWire(rd *wire.Reader) {
-	h.Seq = rd.ReadSeq()
-	h.Req.UnmarshalWire(rd)
+	h.Pos = rd.ReadPos()
+	h.Start = rd.ReadSeq()
+	n := rd.ReadInt()
+	if n < 0 || n > MaxBatchItems {
+		rd.ReadRaw(1 << 30) // poison: oversized entries must not decode
+		return
+	}
+	h.Reqs = make([]WrappedRequest, n)
+	for i := range h.Reqs {
+		h.Reqs[i].UnmarshalWire(rd)
+	}
 }
 
 // agreementSnapshot is the agreement checkpoint content: the counter
-// vector t, the Execute history covering the commit-channel capacity,
-// and the execution-replica registry (so recovering replicas know the
-// current group set).
+// vector t, the batch history covering the commit-channel capacity,
+// the next commit-channel position, and the execution-replica registry
+// (so recovering replicas know the current group set).
 type agreementSnapshot struct {
-	Seq    ids.SeqNr
-	T      map[ids.ClientID]uint64
-	Hist   []histEntry
-	Groups []GroupEntry
+	Seq     ids.SeqNr
+	NextPos ids.Position
+	T       map[ids.ClientID]uint64
+	Hist    []histEntry
+	Groups  []GroupEntry
 }
 
 func (s *agreementSnapshot) MarshalWire(w *wire.Writer) {
 	w.WriteSeq(s.Seq)
+	w.WritePos(s.NextPos)
 	clients := make([]ids.ClientID, 0, len(s.T))
 	for c := range s.T {
 		clients = append(clients, c)
@@ -466,6 +546,7 @@ func (s *agreementSnapshot) MarshalWire(w *wire.Writer) {
 
 func (s *agreementSnapshot) UnmarshalWire(rd *wire.Reader) {
 	s.Seq = rd.ReadSeq()
+	s.NextPos = rd.ReadPos()
 	n := rd.ReadInt()
 	if n < 0 || n > 1<<22 {
 		return

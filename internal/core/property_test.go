@@ -32,21 +32,25 @@ func TestQuickClientRequestRoundTrip(t *testing.T) {
 	}
 }
 
-// TestQuickExecuteMsgRoundTrip covers both the full and placeholder
-// variants of the commit-channel payload.
-func TestQuickExecuteMsgRoundTrip(t *testing.T) {
-	f := func(seq uint64, full bool, client int32, counter uint64, op []byte, group int32) bool {
-		in := ExecuteMsg{Seq: ids.SeqNr(seq), Full: full}
-		if full {
-			in.Req = WrappedRequest{
-				Req:   ClientRequest{Kind: KindWrite, Client: ids.ClientID(client), Counter: counter, Op: op},
-				Group: ids.GroupID(group),
-			}
-		} else {
-			in.Client = ids.ClientID(client)
-			in.Counter = counter
+// TestQuickExecuteBatchRoundTrip covers full, placeholder and no-op
+// item variants of the commit-channel batch payload.
+func TestQuickExecuteBatchRoundTrip(t *testing.T) {
+	f := func(start uint64, fulls []bool, client int32, counter uint64, op []byte, group int32) bool {
+		in := ExecuteBatchMsg{Start: ids.SeqNr(start)}
+		for i, full := range fulls {
+			item := ExecuteItem{Full: full}
+			if full {
+				item.Req = WrappedRequest{
+					Req:   ClientRequest{Kind: KindWrite, Client: ids.ClientID(client) + ids.ClientID(i), Counter: counter, Op: op},
+					Group: ids.GroupID(group),
+				}
+			} else if i%2 == 0 {
+				item.Client = ids.ClientID(client)
+				item.Counter = counter
+			} // odd non-full slots stay no-ops
+			in.Items = append(in.Items, item)
 		}
-		var out ExecuteMsg
+		var out ExecuteBatchMsg
 		if err := wire.Decode(wire.Encode(&in), &out); err != nil {
 			return false
 		}
@@ -54,6 +58,27 @@ func TestQuickExecuteMsgRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOversizedBatchRejected: a length-corrupted batch claiming more
+// than MaxBatchItems items must fail decoding instead of yielding an
+// empty batch or a huge allocation.
+func TestOversizedBatchRejected(t *testing.T) {
+	var w wire.Writer
+	w.WriteSeq(7)
+	w.WriteInt(MaxBatchItems + 1)
+	var out ExecuteBatchMsg
+	if err := wire.Decode(w.Bytes(), &out); err == nil {
+		t.Fatal("oversized batch decoded successfully")
+	}
+	var he histEntry
+	var w2 wire.Writer
+	w2.WritePos(3)
+	w2.WriteSeq(7)
+	w2.WriteInt(MaxBatchItems + 1)
+	if err := wire.Decode(w2.Bytes(), &he); err == nil {
+		t.Fatal("oversized hist entry decoded successfully")
 	}
 }
 
@@ -86,11 +111,16 @@ func TestQuickSnapshotDeterminism(t *testing.T) {
 
 func TestAgreementSnapshotRoundTrip(t *testing.T) {
 	in := agreementSnapshot{
-		Seq: 42,
-		T:   map[ids.ClientID]uint64{3: 9, 1: 7},
+		Seq:     42,
+		NextPos: 12,
+		T:       map[ids.ClientID]uint64{3: 9, 1: 7},
 		Hist: []histEntry{{
-			Seq: 41,
-			Req: WrappedRequest{Req: ClientRequest{Kind: KindWrite, Client: 3, Counter: 9, Op: []byte("x")}, Group: 10},
+			Pos:   11,
+			Start: 41,
+			Reqs: []WrappedRequest{
+				{Req: ClientRequest{Kind: KindWrite, Client: 3, Counter: 9, Op: []byte("x")}, Group: 10},
+				{Req: ClientRequest{Kind: KindWrite, Client: 1, Counter: 7, Op: []byte("y")}, Group: 10},
+			},
 		}},
 		Groups: []GroupEntry{{Group: ids.Group{ID: 10, Members: []ids.NodeID{11, 12, 13}, F: 1}, Region: "v"}},
 	}
@@ -98,8 +128,11 @@ func TestAgreementSnapshotRoundTrip(t *testing.T) {
 	if err := wire.Decode(wire.Encode(&in), &out); err != nil {
 		t.Fatal(err)
 	}
-	if out.Seq != 42 || out.T[3] != 9 || len(out.Hist) != 1 || len(out.Groups) != 1 {
+	if out.Seq != 42 || out.NextPos != 12 || out.T[3] != 9 || len(out.Hist) != 1 || len(out.Groups) != 1 {
 		t.Fatalf("round trip = %+v", out)
+	}
+	if out.Hist[0].Pos != 11 || out.Hist[0].Start != 41 || len(out.Hist[0].Reqs) != 2 || out.Hist[0].end() != 42 {
+		t.Fatalf("hist round trip = %+v", out.Hist[0])
 	}
 	if out.Groups[0].Group.ID != 10 || out.Groups[0].Region != "v" {
 		t.Fatalf("groups = %+v", out.Groups)

@@ -103,12 +103,17 @@ func regionLabel(r topo.Region) string {
 	}
 }
 
-// LatencyRow is one bar of a latency figure.
+// LatencyRow is one bar of a latency figure. For Spider systems the
+// batch-occupancy summaries travel along (identical per system and
+// run), so figure output shows how full the commit data plane's
+// batches actually were.
 type LatencyRow struct {
 	System  string
 	Leader  string
 	Region  topo.Region
 	Summary stats.Summary
+	Batch   stats.OccupancySummary // requests per proposed consensus batch
+	Send    stats.OccupancySummary // requests per commit-channel Send
 }
 
 // runLatency builds a system, runs one workload, and emits one row per
@@ -124,6 +129,8 @@ func runLatency(p RunProfile, system System, label string, kind core.RequestKind
 	if err != nil {
 		return nil, fmt.Errorf("%s workload: %w", system, err)
 	}
+	batch := cluster.BatchOcc.Summarize()
+	send := cluster.SendOcc.Summarize()
 	var rows []LatencyRow
 	for _, region := range cluster.Opts.Regions {
 		rows = append(rows, LatencyRow{
@@ -131,6 +138,8 @@ func runLatency(p RunProfile, system System, label string, kind core.RequestKind
 			Leader:  label,
 			Region:  region,
 			Summary: recorders[region].Summarize(),
+			Batch:   batch,
+			Send:    send,
 		})
 	}
 	return rows, nil
@@ -327,6 +336,19 @@ func RenderLatencyRows(title string, rows []LatencyRow) string {
 			float64(r.Summary.P50)/float64(time.Millisecond),
 			float64(r.Summary.P90)/float64(time.Millisecond),
 			r.Summary.Count)
+	}
+	// One occupancy footnote per (system, leader) configuration that
+	// recorded batches: underfilled batches explain latency/throughput
+	// trade-offs the bare percentiles hide.
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		key := r.System + "|" + r.Leader
+		if r.Batch.Count == 0 || seen[key] {
+			continue
+		}
+		seen[key] = true
+		fmt.Fprintf(&b, "   %s %s: batch occupancy %s; per-send %s\n",
+			r.System, r.Leader, r.Batch, r.Send)
 	}
 	return b.String()
 }

@@ -129,6 +129,13 @@ type Cluster struct {
 	admin           *core.Client
 	execReplicas    []*core.ExecutionReplica
 
+	// Batch-occupancy recorders shared by all Spider agreement
+	// replicas: requests per proposed consensus batch and per
+	// commit-channel Send. Underfilled batches are a first-order
+	// throughput signal now that the whole data plane is batched.
+	BatchOcc *stats.Occupancy
+	SendOcc  *stats.Occupancy
+
 	// Baseline state.
 	globalGroup ids.Group                 // BFT / WV / Spider-0E
 	hftSites    []ids.Group               // HFT
@@ -150,6 +157,8 @@ func Build(opts BuildOptions) (*Cluster, error) {
 		spiderPending: make(map[topo.Region]ids.Group),
 		hftSiteOf:     make(map[topo.Region]int),
 		groupOf:       make(map[topo.Region]ids.Group),
+		BatchOcc:      stats.NewOccupancy(),
+		SendOcc:       stats.NewOccupancy(),
 	}
 	c.Net = memnet.New(memnet.Options{
 		Placement:  c.Placement,
@@ -371,6 +380,8 @@ func (c *Cluster) buildSpider() error {
 			Tunables:         c.spiderTunables(),
 			ConsensusTimeout: 2 * time.Second,
 			ConsensusAuth:    c.Opts.ConsensusAuth,
+			BatchOccupancy:   c.BatchOcc,
+			SendOccupancy:    c.SendOcc,
 		})
 		if err != nil {
 			return err

@@ -167,6 +167,37 @@ func TestIRMCBenchSmoke(t *testing.T) {
 	}
 }
 
+// TestSpiderRecordsBatchOccupancy: a Spider run must populate the
+// batch-occupancy recorders (requests per proposed batch and per
+// commit-channel Send) so figure output can show batch utilisation.
+func TestSpiderRecordsBatchOccupancy(t *testing.T) {
+	p := tinyProfile()
+	cluster, err := p.build(SystemSpider, nil)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	defer cluster.Stop()
+	if _, err := cluster.RunWorkload([]topo.Region{topo.Virginia}, Workload{
+		ClientsPerRegion: 2,
+		Rate:             30,
+		Duration:         800 * time.Millisecond,
+		Kind:             core.KindWrite,
+	}); err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	batch := cluster.BatchOcc.Summarize()
+	send := cluster.SendOcc.Summarize()
+	if batch.Count == 0 || batch.Total == 0 {
+		t.Errorf("no batch occupancy recorded: %+v", batch)
+	}
+	if send.Count == 0 {
+		t.Errorf("no send occupancy recorded: %+v", send)
+	}
+	if batch.Max > 0 && batch.Mean < 1 {
+		t.Errorf("implausible batch occupancy: %+v", batch)
+	}
+}
+
 func TestRenderers(t *testing.T) {
 	rows := []LatencyRow{{System: "SPIDER", Leader: "Leader in V-1", Region: topo.Virginia}}
 	if out := RenderLatencyRows("test", rows); len(out) == 0 {

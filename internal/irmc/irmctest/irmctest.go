@@ -9,6 +9,7 @@ package irmctest
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -91,6 +92,7 @@ func waitMsg(t *testing.T, ch <-chan receiveResult, want []byte, timeout time.Du
 // Run executes the conformance suite against the factory.
 func Run(t *testing.T, factory Factory) {
 	t.Run("DeliveryRequiresQuorum", func(t *testing.T) { testDeliveryRequiresQuorum(t, factory) })
+	t.Run("MultiRequestPositions", func(t *testing.T) { testMultiRequestPositions(t, factory) })
 	t.Run("MinorityCannotInject", func(t *testing.T) { testMinorityCannotInject(t, factory) })
 	t.Run("ConflictingContent", func(t *testing.T) { testConflictingContent(t, factory) })
 	t.Run("AllReceiversDeliver", func(t *testing.T) { testAllReceiversDeliver(t, factory) })
@@ -121,6 +123,55 @@ func testDeliveryRequiresQuorum(t *testing.T, factory Factory) {
 	ch := receiveAsync(c.Receivers[0], 0, 1)
 	sendQuorum(t, c, 0, 1, want)
 	waitMsg(t, ch, want, 5*time.Second)
+}
+
+// batchPayload builds a composite payload of n length-prefixed
+// sub-messages, mimicking the batched commit data plane where one
+// position carries a whole consensus batch.
+func batchPayload(pos ids.Position, n int) []byte {
+	var out []byte
+	for i := 0; i < n; i++ {
+		sub := []byte(fmt.Sprintf("pos-%d-req-%04d|payload-%032d", pos, i, i))
+		out = append(out, byte(len(sub)))
+		out = append(out, sub...)
+	}
+	return out
+}
+
+// testMultiRequestPositions sends large multi-request payloads across
+// several positions, with one faulty sender submitting a divergent
+// batch at every position: each position must deliver the correct
+// majority's batch byte-exactly, in position order. This is the
+// channel-level contract the batched commit data plane relies on — a
+// position is a batch, and partial or mixed batches must never appear.
+func testMultiRequestPositions(t *testing.T, factory Factory) {
+	c := factory(t, 8)
+	defer c.Close()
+
+	const positions = 4
+	const perBatch = 64
+	want := make([][]byte, positions+1)
+	chans := make([]<-chan receiveResult, positions+1)
+	for p := 1; p <= positions; p++ {
+		chans[p] = receiveAsync(c.Receivers[0], 0, ids.Position(p))
+	}
+	for p := 1; p <= positions; p++ {
+		want[p] = batchPayload(ids.Position(p), perBatch)
+		// The faulty sender proposes a batch with one request swapped.
+		evil := batchPayload(ids.Position(p), perBatch)
+		evil[len(evil)-1] ^= 0xFF
+		if err := c.Senders[0].Send(0, ids.Position(p), evil); err != nil {
+			t.Fatalf("faulty Send pos %d: %v", p, err)
+		}
+		for _, s := range c.Senders[1:] {
+			if err := s.Send(0, ids.Position(p), want[p]); err != nil {
+				t.Fatalf("Send pos %d: %v", p, err)
+			}
+		}
+	}
+	for p := 1; p <= positions; p++ {
+		waitMsg(t, chans[p], want[p], 5*time.Second)
+	}
 }
 
 func testMinorityCannotInject(t *testing.T, factory Factory) {

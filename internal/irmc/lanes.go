@@ -45,32 +45,50 @@ func NewOpenLanes(cfg Config, reg *wire.Registry, peerGroups ...[]ids.NodeID) *O
 func (ol *OpenLanes) Submit(from ids.NodeID, payload []byte,
 	verify func(wire.TypeTag, wire.Message) error,
 	deliver func(wire.TypeTag, wire.Message)) {
+	ol.SubmitBatch(from, [][]byte{payload}, verify, deliver)
+}
+
+// SubmitBatch admits a run of frames that arrived back-to-back from
+// one peer: all of them enter the peer's lane in a single GoBatch
+// submission, so a drained link queue pays the pipeline queue locking
+// once per run instead of once per frame, while per-peer dispatch
+// order is preserved exactly as with Submit.
+func (ol *OpenLanes) SubmitBatch(from ids.NodeID, payloads [][]byte,
+	verify func(wire.TypeTag, wire.Message) error,
+	deliver func(wire.TypeTag, wire.Message)) {
 	lane := ol.lanes[from]
 	if lane == nil {
 		return // not a known peer
 	}
-	var (
-		tag wire.TypeTag
-		msg wire.Message
-	)
-	lane.Go(func() error {
-		stop := ol.cfg.Track()
-		defer stop()
-		var err error
-		tag, msg, err = Open(ol.cfg.Suite, ol.reg, from, payload)
-		if err != nil {
-			return err
+	jobs := make([]crypto.Job, len(payloads))
+	for i, payload := range payloads {
+		var (
+			tag wire.TypeTag
+			msg wire.Message
+		)
+		jobs[i] = crypto.Job{
+			Compute: func() error {
+				stop := ol.cfg.Track()
+				defer stop()
+				var err error
+				tag, msg, err = Open(ol.cfg.Suite, ol.reg, from, payload)
+				if err != nil {
+					return err
+				}
+				if verify != nil {
+					return verify(tag, msg)
+				}
+				return nil
+			},
+			Deliver: func(err error) {
+				if err != nil {
+					return
+				}
+				stop := ol.cfg.Track()
+				defer stop()
+				deliver(tag, msg)
+			},
 		}
-		if verify != nil {
-			return verify(tag, msg)
-		}
-		return nil
-	}, func(err error) {
-		if err != nil {
-			return
-		}
-		stop := ol.cfg.Track()
-		defer stop()
-		deliver(tag, msg)
-	})
+	}
+	lane.GoBatch(jobs)
 }

@@ -12,6 +12,7 @@ import (
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/irmc"
+	"spider/internal/transport"
 	"spider/internal/wire"
 )
 
@@ -206,7 +207,7 @@ func NewReceiver(cfg irmc.Config) (*Receiver, error) {
 	}
 	r.lanes = irmc.NewOpenLanes(cfg, r.reg, cfg.Senders.Members)
 	r.cond = sync.NewCond(&r.mu)
-	cfg.Node.Handle(cfg.Stream, r.onFrame)
+	transport.RegisterBatch(cfg.Node, cfg.Stream, r.onFrames)
 	return r, nil
 }
 
@@ -307,8 +308,10 @@ func (r *Receiver) Close() {
 	r.mu.Unlock()
 }
 
-func (r *Receiver) onFrame(from ids.NodeID, payload []byte) {
-	r.lanes.Submit(from, payload, nil, func(tag wire.TypeTag, msg wire.Message) {
+// onFrames admits a drained run of frames from one sender through the
+// crypto pipeline in a single batch submission.
+func (r *Receiver) onFrames(from ids.NodeID, payloads [][]byte) {
+	r.lanes.SubmitBatch(from, payloads, nil, func(tag wire.TypeTag, msg wire.Message) {
 		switch tag {
 		case irmc.TagSend:
 			r.onSend(from, msg.(*irmc.SendMsg))

@@ -16,6 +16,7 @@ import (
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/irmc"
+	"spider/internal/transport"
 	"spider/internal/wire"
 )
 
@@ -83,7 +84,7 @@ func NewSender(cfg irmc.Config) (*Sender, error) {
 	}
 	s.lanes = irmc.NewOpenLanes(cfg, s.reg, cfg.Senders.Members, cfg.Receivers.Members)
 	s.cond = sync.NewCond(&s.mu)
-	cfg.Node.Handle(cfg.Stream, s.onFrame)
+	transport.RegisterBatch(cfg.Node, cfg.Stream, s.onFrames)
 	s.wg.Add(1)
 	go s.progressLoop()
 	return s, nil
@@ -207,10 +208,10 @@ func (s *Sender) Close() {
 	s.wg.Wait()
 }
 
-func (s *Sender) onFrame(from ids.NodeID, payload []byte) {
+func (s *Sender) onFrames(from ids.NodeID, payloads [][]byte) {
 	fromSender := s.cfg.Senders.Contains(from)
 	fromReceiver := s.cfg.Receivers.Contains(from)
-	s.lanes.Submit(from, payload, func(tag wire.TypeTag, msg wire.Message) error {
+	s.lanes.SubmitBatch(from, payloads, func(tag wire.TypeTag, msg wire.Message) error {
 		if tag == irmc.TagSigShare && fromSender {
 			// Validate the transferable share signature before storing
 			// it; only valid shares may end up inside certificates.
@@ -469,7 +470,7 @@ func NewReceiver(cfg irmc.Config) (*Receiver, error) {
 	}
 	r.lanes = irmc.NewOpenLanes(cfg, r.reg, cfg.Senders.Members)
 	r.cond = sync.NewCond(&r.mu)
-	cfg.Node.Handle(cfg.Stream, r.onFrame)
+	transport.RegisterBatch(cfg.Node, cfg.Stream, r.onFrames)
 	r.wg.Add(1)
 	go r.watchdogLoop()
 	return r, nil
@@ -591,8 +592,8 @@ func (r *Receiver) Close() {
 	r.wg.Wait()
 }
 
-func (r *Receiver) onFrame(from ids.NodeID, payload []byte) {
-	r.lanes.Submit(from, payload, func(tag wire.TypeTag, msg wire.Message) error {
+func (r *Receiver) onFrames(from ids.NodeID, payloads [][]byte) {
+	r.lanes.SubmitBatch(from, payloads, func(tag wire.TypeTag, msg wire.Message) error {
 		if tag == irmc.TagCertificate {
 			// The certificate's fs+1 share signatures are the CPU-heavy
 			// part of admission; verify them on the pipeline too, so

@@ -212,6 +212,112 @@ func (c *Counter) Load() int64 { return c.n.Load() }
 // Reset zeroes the counter.
 func (c *Counter) Reset() { c.n.Store(0) }
 
+// Occupancy records small integer counts — requests per proposed
+// consensus batch, requests per commit-channel Send — so underfilled
+// batches are visible in the harness figure output. Observations are
+// stored as a value→frequency histogram, so memory stays bounded by
+// the number of distinct counts (not the number of observations) and
+// Record is O(1) on the consensus hot path. It is safe for concurrent
+// use.
+type Occupancy struct {
+	mu   sync.Mutex
+	freq map[int]int64
+	obs  int64
+	sum  int64
+}
+
+// maxOccupancyValue clamps recorded values; anything larger lands in
+// the top bucket (batch sizes are small by construction, so this only
+// guards against nonsense inputs).
+const maxOccupancyValue = 1 << 16
+
+// NewOccupancy returns an empty occupancy recorder.
+func NewOccupancy() *Occupancy { return &Occupancy{} }
+
+// Record stores one observed count.
+func (o *Occupancy) Record(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxOccupancyValue {
+		n = maxOccupancyValue
+	}
+	o.mu.Lock()
+	if o.freq == nil {
+		o.freq = make(map[int]int64)
+	}
+	o.freq[n]++
+	o.obs++
+	o.sum += int64(n)
+	o.mu.Unlock()
+}
+
+// OccupancySummary is the percentile set for occupancy counts.
+type OccupancySummary struct {
+	Count int     // number of observations
+	Total int64   // sum of all counts (e.g. total requests batched)
+	Mean  float64 // average count per observation
+	P50   int
+	P90   int
+	Max   int
+}
+
+// String renders the summary in a compact, table-friendly form.
+func (s OccupancySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%d p90=%d max=%d",
+		s.Count, s.Mean, s.P50, s.P90, s.Max)
+}
+
+// Summarize computes the occupancy summary over all observations.
+func (o *Occupancy) Summarize() OccupancySummary {
+	o.mu.Lock()
+	freq := make(map[int]int64, len(o.freq))
+	for v, c := range o.freq {
+		freq[v] = c
+	}
+	obs, sum := o.obs, o.sum
+	o.mu.Unlock()
+	if obs == 0 {
+		return OccupancySummary{}
+	}
+	values := make([]int, 0, len(freq))
+	for v := range freq {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	pct := func(p float64) int {
+		rank := int64(p/100*float64(obs)+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		var cum int64
+		for _, v := range values {
+			cum += freq[v]
+			if cum > rank {
+				return v
+			}
+		}
+		return values[len(values)-1]
+	}
+	return OccupancySummary{
+		Count: int(obs),
+		Total: sum,
+		Mean:  float64(sum) / float64(obs),
+		P50:   pct(50),
+		P90:   pct(90),
+		Max:   values[len(values)-1],
+	}
+}
+
+// Reset discards all observations.
+func (o *Occupancy) Reset() {
+	o.mu.Lock()
+	o.freq = nil
+	o.obs = 0
+	o.sum = 0
+	o.mu.Unlock()
+}
+
 // CPUMeter accumulates wall-clock time spent inside instrumented code
 // sections. Dividing the accumulated busy time by the experiment
 // duration approximates the CPU utilisation a dedicated machine would

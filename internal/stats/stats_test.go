@@ -148,3 +148,41 @@ func TestCPUMeter(t *testing.T) {
 		t.Error("Add failed")
 	}
 }
+
+// TestOccupancyPercentiles checks the histogram-backed percentile
+// computation against a known distribution.
+func TestOccupancyPercentiles(t *testing.T) {
+	o := NewOccupancy()
+	// 50× value 1, 40× value 8, 10× value 64.
+	for i := 0; i < 50; i++ {
+		o.Record(1)
+	}
+	for i := 0; i < 40; i++ {
+		o.Record(8)
+	}
+	for i := 0; i < 10; i++ {
+		o.Record(64)
+	}
+	s := o.Summarize()
+	if s.Count != 100 || s.Total != 50+320+640 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 1 || s.P90 != 8 || s.Max != 64 {
+		t.Fatalf("percentiles = p50=%d p90=%d max=%d, want 1/8/64", s.P50, s.P90, s.Max)
+	}
+	if s.Mean < 10 || s.Mean > 10.2 {
+		t.Fatalf("mean = %f", s.Mean)
+	}
+	o.Reset()
+	if s := o.Summarize(); s.Count != 0 {
+		t.Fatalf("summary after reset = %+v", s)
+	}
+
+	// Clamping: negative and absurd values land in the edge buckets.
+	o.Record(-5)
+	o.Record(1 << 30)
+	s = o.Summarize()
+	if s.Count != 2 || s.Max != maxOccupancyValue {
+		t.Fatalf("clamped summary = %+v", s)
+	}
+}

@@ -265,8 +265,15 @@ func (n *Network) send(from, to ids.NodeID, stream transport.Stream, payload []b
 // byte accounting is comparable to what a cloud provider bills.
 const frameOverhead = 40
 
+// maxDrainRun bounds how many queued frames one delivery drains; it
+// keeps a single handler call from monopolizing the link goroutine.
+const maxDrainRun = 128
+
 // runLink delivers frames of one directed link in FIFO order after
-// their scheduled delay.
+// their scheduled delay. When the head frame's delay has elapsed, any
+// immediately deliverable frames for the same stream queued behind it
+// are drained into one batch delivery, so a receiver with a batch
+// handler admits the whole run at once.
 func (n *Network) runLink(l *link, dst *memNode) {
 	defer n.wg.Done()
 	for {
@@ -283,7 +290,15 @@ func (n *Network) runLink(l *link, dst *memNode) {
 				return
 			}
 		}
-		dst.deliver(f)
+		run := l.drainReady(f.stream, time.Now(), maxDrainRun-1)
+		if len(run) == 0 {
+			dst.deliver(f)
+			continue
+		}
+		payloads := make([][]byte, 0, len(run)+1)
+		payloads = append(payloads, f.payload)
+		payloads = append(payloads, run...)
+		dst.deliverRun(f.from, f.stream, payloads)
 	}
 }
 
@@ -359,6 +374,24 @@ func (l *link) next() (frame, time.Time, bool) {
 	return tf.frame, tf.at, true
 }
 
+// drainReady pops up to max queued frames whose delivery time has
+// arrived and whose stream matches, preserving FIFO order. It never
+// blocks; an empty result means the head frame travels alone.
+func (l *link) drainReady(stream transport.Stream, now time.Time, max int) [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out [][]byte
+	for len(l.q) > 0 && len(out) < max {
+		head := l.q[0]
+		if head.stream != stream || head.at.After(now) {
+			break
+		}
+		out = append(out, head.payload)
+		l.q = l.q[1:]
+	}
+	return out
+}
+
 func (l *link) close() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -378,10 +411,14 @@ type memNode struct {
 
 	mu       sync.Mutex
 	handlers map[transport.Stream]transport.Handler
+	batch    map[transport.Stream]transport.BatchHandler
 	pending  map[transport.Stream][]pendingFrame
 }
 
-var _ transport.Node = (*memNode)(nil)
+var (
+	_ transport.Node      = (*memNode)(nil)
+	_ transport.BatchNode = (*memNode)(nil)
+)
 
 func (m *memNode) ID() ids.NodeID { return m.id }
 
@@ -398,6 +435,7 @@ func (m *memNode) Multicast(to []ids.NodeID, stream transport.Stream, payload []
 func (m *memNode) Handle(stream transport.Stream, h transport.Handler) {
 	m.mu.Lock()
 	m.handlers[stream] = h
+	delete(m.batch, stream)
 	backlog := m.pending[stream]
 	delete(m.pending, stream)
 	m.mu.Unlock()
@@ -406,20 +444,56 @@ func (m *memNode) Handle(stream transport.Stream, h transport.Handler) {
 	}
 }
 
+// HandleBatch implements transport.BatchNode: frames drained from a
+// link queue in one run reach h as a single call.
+func (m *memNode) HandleBatch(stream transport.Stream, h transport.BatchHandler) {
+	m.mu.Lock()
+	if m.batch == nil {
+		m.batch = make(map[transport.Stream]transport.BatchHandler)
+	}
+	m.batch[stream] = h
+	delete(m.handlers, stream)
+	backlog := m.pending[stream]
+	delete(m.pending, stream)
+	m.mu.Unlock()
+	froms := make([]ids.NodeID, len(backlog))
+	payloads := make([][]byte, len(backlog))
+	for i, f := range backlog {
+		froms[i], payloads[i] = f.from, f.payload
+	}
+	transport.ReplayRuns(h, froms, payloads)
+}
+
 // deliver hands a frame to the registered handler, or buffers it
 // (bounded) until a handler appears.
 func (m *memNode) deliver(f frame) {
+	m.deliverRun(f.from, f.stream, [][]byte{f.payload})
+}
+
+// deliverRun hands a run of same-sender frames to the stream's batch
+// handler in one call, falling back to per-frame delivery (or bounded
+// buffering) when none is registered.
+func (m *memNode) deliverRun(from ids.NodeID, stream transport.Stream, payloads [][]byte) {
 	m.mu.Lock()
-	h, ok := m.handlers[f.stream]
+	if bh, ok := m.batch[stream]; ok {
+		m.mu.Unlock()
+		bh(from, payloads)
+		return
+	}
+	h, ok := m.handlers[stream]
 	if !ok {
-		if len(m.pending[f.stream]) < m.net.opts.PendingLimit {
-			m.pending[f.stream] = append(m.pending[f.stream], pendingFrame{from: f.from, payload: f.payload})
-		} else {
-			m.net.dropped.Add(1)
+		for _, payload := range payloads {
+			if len(m.pending[stream]) < m.net.opts.PendingLimit {
+				m.pending[stream] = append(m.pending[stream], pendingFrame{from: from, payload: payload})
+			} else {
+				m.net.dropped.Add(1)
+			}
 		}
 		m.mu.Unlock()
 		return
 	}
 	m.mu.Unlock()
-	h(f.from, f.payload)
+	for _, payload := range payloads {
+		h(from, payload)
+	}
 }

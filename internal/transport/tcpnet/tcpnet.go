@@ -12,6 +12,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -57,6 +58,14 @@ func (o *Options) applyDefaults() {
 // prefixes).
 const maxFrameSize = 1 << 26 // 64 MiB
 
+// maxInboundBatch bounds how many already-buffered frames one receive
+// drains into a single batch delivery.
+const maxInboundBatch = 128
+
+// maxFlushBytes bounds how much queued outbound data one connection
+// write coalesces.
+const maxFlushBytes = 256 << 10
+
 // Node is a TCP-backed transport.Node.
 type Node struct {
 	opts     Options
@@ -64,6 +73,7 @@ type Node struct {
 
 	mu       sync.Mutex
 	handlers map[transport.Stream]transport.Handler
+	batch    map[transport.Stream]transport.BatchHandler
 	pending  map[transport.Stream][][2]any // buffered (from, payload) pre-registration
 	outbound map[ids.NodeID]*peerQueue
 	inbound  map[net.Conn]struct{}
@@ -97,18 +107,25 @@ func (q *selfQueue) push(f frame) {
 	q.mu.Unlock()
 }
 
-func (q *selfQueue) pop() (frame, bool) {
+// pop drains a run of queued frames sharing the head frame's stream,
+// preserving FIFO order, so loopback traffic reaches batch handlers in
+// batches just like remote traffic.
+func (q *selfQueue) pop() (transport.Stream, [][]byte, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.queue) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if q.closed {
-		return frame{}, false
+		return 0, nil, false
 	}
-	f := q.queue[0]
-	q.queue = q.queue[1:]
-	return f, true
+	stream := q.queue[0].stream
+	var payloads [][]byte
+	for len(q.queue) > 0 && q.queue[0].stream == stream && len(payloads) < maxInboundBatch {
+		payloads = append(payloads, q.queue[0].payload)
+		q.queue = q.queue[1:]
+	}
+	return stream, payloads, true
 }
 
 func (q *selfQueue) close() {
@@ -195,6 +212,7 @@ func (n *Node) Close() {
 func (n *Node) Handle(stream transport.Stream, h transport.Handler) {
 	n.mu.Lock()
 	n.handlers[stream] = h
+	delete(n.batch, stream)
 	backlog := n.pending[stream]
 	delete(n.pending, stream)
 	n.mu.Unlock()
@@ -202,6 +220,29 @@ func (n *Node) Handle(stream transport.Stream, h transport.Handler) {
 		h(f[0].(ids.NodeID), f[1].([]byte))
 	}
 }
+
+// HandleBatch implements transport.BatchNode: frames read back-to-back
+// from one connection (or drained from the loopback queue) reach h as
+// a single call.
+func (n *Node) HandleBatch(stream transport.Stream, h transport.BatchHandler) {
+	n.mu.Lock()
+	if n.batch == nil {
+		n.batch = make(map[transport.Stream]transport.BatchHandler)
+	}
+	n.batch[stream] = h
+	delete(n.handlers, stream)
+	backlog := n.pending[stream]
+	delete(n.pending, stream)
+	n.mu.Unlock()
+	froms := make([]ids.NodeID, len(backlog))
+	payloads := make([][]byte, len(backlog))
+	for i, f := range backlog {
+		froms[i], payloads[i] = f[0].(ids.NodeID), f[1].([]byte)
+	}
+	transport.ReplayRuns(h, froms, payloads)
+}
+
+var _ transport.BatchNode = (*Node)(nil)
 
 // Send implements transport.Node.
 func (n *Node) Send(to ids.NodeID, stream transport.Stream, payload []byte) {
@@ -238,28 +279,44 @@ func (n *Node) Multicast(to []ids.NodeID, stream transport.Stream, payload []byt
 }
 
 func (n *Node) deliver(from ids.NodeID, stream transport.Stream, payload []byte) {
+	n.deliverRun(from, stream, [][]byte{payload})
+}
+
+// deliverRun hands a run of same-sender frames to the stream's batch
+// handler in one call, falling back to per-frame delivery (or bounded
+// buffering) when none is registered.
+func (n *Node) deliverRun(from ids.NodeID, stream transport.Stream, payloads [][]byte) {
 	n.mu.Lock()
+	if bh, ok := n.batch[stream]; ok {
+		n.mu.Unlock()
+		bh(from, payloads)
+		return
+	}
 	h, ok := n.handlers[stream]
 	if !ok {
-		if len(n.pending[stream]) < 4096 {
-			n.pending[stream] = append(n.pending[stream], [2]any{from, payload})
+		for _, payload := range payloads {
+			if len(n.pending[stream]) < 4096 {
+				n.pending[stream] = append(n.pending[stream], [2]any{from, payload})
+			}
 		}
 		n.mu.Unlock()
 		return
 	}
 	n.mu.Unlock()
-	h(from, payload)
+	for _, payload := range payloads {
+		h(from, payload)
+	}
 }
 
 // loopbackLoop drains asynchronous self-deliveries.
 func (n *Node) loopbackLoop() {
 	defer n.wg.Done()
 	for {
-		f, ok := n.loop.pop()
+		stream, payloads, ok := n.loop.pop()
 		if !ok {
 			return
 		}
-		n.deliver(n.opts.Self, f.stream, f.payload)
+		n.deliverRun(n.opts.Self, stream, payloads)
 	}
 }
 
@@ -295,8 +352,9 @@ func (n *Node) serveConn(conn net.Conn) {
 
 	// Handshake: 4-byte little-endian sender id. The identity is a
 	// claim; protocol-level authentication decides what to believe.
+	br := bufio.NewReaderSize(conn, 64<<10)
 	var hs [4]byte
-	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+	if _, err := io.ReadFull(br, hs[:]); err != nil {
 		return
 	}
 	from := ids.NodeID(binary.LittleEndian.Uint32(hs[:]))
@@ -304,19 +362,31 @@ func (n *Node) serveConn(conn net.Conn) {
 		return
 	}
 
-	var header [8]byte
 	for {
-		if _, err := io.ReadFull(conn, header[:]); err != nil {
+		stream, payload, err := readFrame(br)
+		if err != nil {
 			return
 		}
-		length := binary.LittleEndian.Uint32(header[:4])
-		stream := transport.Stream(binary.LittleEndian.Uint32(header[4:]))
-		if length > maxFrameSize {
-			return
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(conn, payload); err != nil {
-			return
+		// Greedily drain frames that are already sitting in the read
+		// buffer — never blocking — and hand a run sharing the first
+		// frame's stream to the handler in one call. A batch-capable
+		// sender flushes several frames per write, so under load whole
+		// runs arrive in one kernel read.
+		payloads := [][]byte{payload}
+		corrupt := false
+		for len(payloads) < maxInboundBatch {
+			nextPayload, ok, err := readBufferedFrame(br, stream)
+			if err != nil {
+				// The next header is garbage, but the frames already
+				// collected arrived intact — deliver them before the
+				// connection tears down (the sender will not resend).
+				corrupt = true
+				break
+			}
+			if !ok {
+				break
+			}
+			payloads = append(payloads, nextPayload)
 		}
 		n.mu.Lock()
 		closed := n.closed
@@ -324,8 +394,58 @@ func (n *Node) serveConn(conn net.Conn) {
 		if closed {
 			return
 		}
-		n.deliver(from, stream, payload)
+		n.deliverRun(from, stream, payloads)
+		if corrupt {
+			return
+		}
 	}
+}
+
+// readFrame reads one length-prefixed frame, blocking as needed.
+func readFrame(br *bufio.Reader) (transport.Stream, []byte, error) {
+	var header [8]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.LittleEndian.Uint32(header[:4])
+	stream := transport.Stream(binary.LittleEndian.Uint32(header[4:]))
+	if length > maxFrameSize {
+		return 0, nil, errors.New("tcpnet: oversized frame")
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, err
+	}
+	return stream, payload, nil
+}
+
+// readBufferedFrame reads the next frame only if it is entirely
+// buffered already and belongs to stream; it never blocks on the
+// network. ok=false means no such frame is ready.
+func readBufferedFrame(br *bufio.Reader, stream transport.Stream) ([]byte, bool, error) {
+	if br.Buffered() < 8 {
+		return nil, false, nil
+	}
+	header, err := br.Peek(8)
+	if err != nil {
+		return nil, false, nil
+	}
+	length := binary.LittleEndian.Uint32(header[:4])
+	next := transport.Stream(binary.LittleEndian.Uint32(header[4:]))
+	if length > maxFrameSize {
+		return nil, false, errors.New("tcpnet: oversized frame")
+	}
+	if next != stream || br.Buffered() < 8+int(length) {
+		return nil, false, nil
+	}
+	if _, err := br.Discard(8); err != nil {
+		return nil, false, err
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, false, err
+	}
+	return payload, true, nil
 }
 
 // --- outbound ---------------------------------------------------------------
@@ -370,18 +490,31 @@ func (q *peerQueue) enqueue(stream transport.Stream, payload []byte) {
 	q.cond.Signal()
 }
 
-func (q *peerQueue) next() (frame, bool) {
+// nextBatch blocks for at least one frame, then drains everything else
+// already queued (bounded by maxFlushBytes) so the writer can flush
+// the whole run with one connection write.
+func (q *peerQueue) nextBatch() ([]frame, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.queue) == 0 && !q.closed {
 		q.cond.Wait()
 	}
 	if q.closed {
-		return frame{}, false
+		return nil, false
 	}
-	f := q.queue[0]
-	q.queue = q.queue[1:]
-	return f, true
+	taken := 0
+	bytes := 0
+	for taken < len(q.queue) {
+		bytes += len(q.queue[taken].payload) + 8
+		taken++
+		if bytes >= maxFlushBytes {
+			break
+		}
+	}
+	batch := make([]frame, taken)
+	copy(batch, q.queue[:taken])
+	q.queue = q.queue[taken:]
+	return batch, true
 }
 
 func (q *peerQueue) close() {
@@ -405,7 +538,7 @@ func (q *peerQueue) run() {
 		q.mu.Unlock()
 	}()
 	for {
-		f, ok := q.next()
+		batch, ok := q.nextBatch()
 		if !ok {
 			return
 		}
@@ -433,14 +566,15 @@ func (q *peerQueue) run() {
 				q.mu.Unlock()
 				conn = c
 			}
-			if err := writeFrame(conn, f); err != nil {
+			if err := writeFrames(conn, batch); err != nil {
 				conn.Close()
 				q.mu.Lock()
 				if q.conn == conn {
 					q.conn = nil
 				}
 				q.mu.Unlock()
-				continue // re-dial and retry this frame
+				continue // re-dial and retry this batch (duplicates are
+				// tolerated by the protocols, like single-frame retries)
 			}
 			break
 		}
@@ -461,13 +595,18 @@ func (q *peerQueue) dial() (net.Conn, error) {
 	return conn, nil
 }
 
-func writeFrame(conn net.Conn, f frame) error {
-	var header [8]byte
-	binary.LittleEndian.PutUint32(header[:4], uint32(len(f.payload)))
-	binary.LittleEndian.PutUint32(header[4:], uint32(f.stream))
-	if _, err := conn.Write(header[:]); err != nil {
-		return err
+// writeFrames flushes a run of frames with a single vectored write
+// (writev): one syscall per queue drain and no payload copying, so a
+// saturated link amortizes the per-frame write cost.
+func writeFrames(conn net.Conn, batch []frame) error {
+	bufs := make(net.Buffers, 0, 2*len(batch))
+	headers := make([]byte, 8*len(batch))
+	for i, f := range batch {
+		h := headers[8*i : 8*i+8]
+		binary.LittleEndian.PutUint32(h[:4], uint32(len(f.payload)))
+		binary.LittleEndian.PutUint32(h[4:], uint32(f.stream))
+		bufs = append(bufs, h, f.payload)
 	}
-	_, err := conn.Write(f.payload)
+	_, err := bufs.WriteTo(conn)
 	return err
 }

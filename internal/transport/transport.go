@@ -49,6 +49,50 @@ func MakeStream(kind StreamKind, instance uint32) Stream {
 // handler (the transport never reuses it).
 type Handler func(from ids.NodeID, payload []byte)
 
+// BatchHandler processes a run of frames that arrived back-to-back
+// from the same peer on the same stream, in arrival order. Receivers
+// use it to amortize per-frame admission cost (crypto-pipeline queue
+// locking, lock acquisitions) when a link's queue has built up; the
+// run length is an artifact of queue depth, never a delivery guarantee.
+type BatchHandler func(from ids.NodeID, payloads [][]byte)
+
+// BatchNode is optionally implemented by transports whose receive path
+// can hand several queued frames to the handler in one call (memnet
+// link queues, tcpnet's kernel receive buffer). HandleBatch replaces
+// any Handler previously registered for the stream and vice versa.
+type BatchNode interface {
+	HandleBatch(stream Stream, h BatchHandler)
+}
+
+// RegisterBatch registers h on node for stream: as a true batch
+// handler when the transport supports it, frame-at-a-time otherwise.
+// Protocol endpoints that can exploit batched admission register
+// through this helper so they work over every transport.
+func RegisterBatch(node Node, stream Stream, h BatchHandler) {
+	if bn, ok := node.(BatchNode); ok {
+		bn.HandleBatch(stream, h)
+		return
+	}
+	node.Handle(stream, func(from ids.NodeID, payload []byte) {
+		h(from, [][]byte{payload})
+	})
+}
+
+// ReplayRuns feeds a buffered backlog (parallel from/payload slices in
+// arrival order) to a batch handler, grouping consecutive frames from
+// the same sender into one call. Transports use it to flush their
+// pre-registration backlogs through HandleBatch.
+func ReplayRuns(h BatchHandler, froms []ids.NodeID, payloads [][]byte) {
+	for i := 0; i < len(froms); {
+		j := i + 1
+		for j < len(froms) && froms[j] == froms[i] {
+			j++
+		}
+		h(froms[i], payloads[i:j])
+		i = j
+	}
+}
+
 // Node is one endpoint's connection to the network.
 type Node interface {
 	// ID returns the node identity this handle sends as.
