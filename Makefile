@@ -2,12 +2,16 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-snapshot tidy
+## BENCH_PATTERN: the benchmark set snapshots record — the agreement
+## throughput suite plus the zero-allocation micro paths.
+BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle
+
+.PHONY: check build vet test race fuzz-seeds bench bench-snapshot bench-compare tidy
 
 ## check: what CI runs — build, vet, full test suite, and the
 ## concurrency-sensitive packages under the race detector (the MAC
 ## authenticator lanes and certificate batches are race-prone surface).
-check: build vet test race
+check: build vet test fuzz-seeds race
 
 build:
 	$(GO) build ./...
@@ -22,19 +26,41 @@ test:
 race:
 	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/...
 
+## fuzz-seeds: run the wire-codec fuzz targets over their seed corpus
+## only (no fuzzing engine) — fast enough for every CI run.
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/wire/
+
 ## bench: agreement-throughput benchmarks — signature PBFT (serial vs
 ## parallel pipeline) against the MAC-vector fast path, plus the
 ## batch-size sweep of the batched commit data plane.
 bench:
-	$(GO) test -run '^$$' -bench 'RSAThroughput|MACThroughput|MicroPipelineRSA' -benchtime 2000x .
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 2000x . ./internal/crypto/
 
-## bench-snapshot: run the same benchmarks with -json and store the
-## raw event stream as BENCH_<date>.json, so the perf trajectory across
-## PRs is machine-readable (each line is a go test JSON event; Output
-## lines carry the usual "req/s" metrics).
+## bench-snapshot: run the same benchmarks with -json and -benchmem
+## (allocs/op and B/op are first-class regression metrics of the
+## zero-allocation data plane) and store the raw event stream as
+## BENCH_<date>.json, so the perf trajectory across PRs is
+## machine-readable (each line is a go test JSON event; Output lines
+## carry the usual "req/s" metrics).
+## (10000x rather than bench's interactive 2000x: snapshots feed
+## cross-PR comparisons, and at 2000x the ~0.2s measurement window is
+## dominated by scheduler noise on the shared CI container.)
 bench-snapshot:
-	$(GO) test -run '^$$' -bench 'RSAThroughput|MACThroughput|MicroPipelineRSA' -benchtime 2000x -json . > BENCH_$$(date +%Y%m%d).json
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime 10000x -benchmem -json . ./internal/crypto/ > BENCH_$$(date +%Y%m%d).json
 	@echo "wrote BENCH_$$(date +%Y%m%d).json"
+
+## bench-compare: diff two bench snapshots, e.g.
+##   make bench-compare OLD=BENCH_20260601.json [NEW=BENCH_20260727.json]
+## NEW defaults to the most recent snapshot. Uses benchstat when
+## installed, a plain-text metric table otherwise.
+bench-compare:
+	@test -n "$(OLD)" || { echo "usage: make bench-compare OLD=<snapshot.json> [NEW=<snapshot.json>]"; exit 2; }
+	@new="$(NEW)"; \
+	if [ -z "$$new" ]; then new=$$(ls -1 BENCH_*.json 2>/dev/null | tail -1); fi; \
+	test -n "$$new" || { echo "bench-compare: no BENCH_*.json snapshot found; run make bench-snapshot or pass NEW="; exit 2; }; \
+	test "$$new" != "$(OLD)" || { echo "bench-compare: NEW resolved to OLD ($$new); pass NEW=<other snapshot>"; exit 2; }; \
+	$(GO) run ./tools/benchcompare $(OLD) $$new
 
 tidy:
 	$(GO) mod tidy

@@ -18,7 +18,11 @@ import (
 // 3f+1); the weighted policy implements WHEAT-style weighted voting
 // and backs the BFT-WV baseline.
 type QuorumPolicy interface {
-	// IsQuorum reports whether the voter set reaches a quorum.
+	// IsQuorum reports whether the voter set reaches a quorum. The
+	// map is borrowed for the duration of the call only: the replica
+	// reuses one scratch map across tallies on the hot path, so
+	// implementations must not retain or mutate it — copy if a voter
+	// set needs to outlive the call.
 	IsQuorum(voters map[ids.NodeID]bool) bool
 }
 

@@ -148,13 +148,36 @@ func (m *prePrepare) UnmarshalWire(r *wire.Reader) {
 // excludes the view so a batch re-proposed after a view change keeps
 // its digest.
 func batchDigest(payloads [][]byte) crypto.Digest {
-	var w wire.Writer
-	w.WriteInt(len(payloads))
-	for _, p := range payloads {
-		d := crypto.Hash(p)
-		w.WriteRaw(d[:])
+	return batchDigestOf(payloadDigests(payloads))
+}
+
+// payloadDigests hashes each payload of a batch once; replicas cache
+// the result on the log entry so proposal, duplicate tracking,
+// delivery and garbage collection share one SHA-256 pass per payload
+// instead of re-hashing at every stage.
+func payloadDigests(payloads [][]byte) []crypto.Digest {
+	if len(payloads) == 0 {
+		return nil
 	}
-	return crypto.Hash(w.Bytes())
+	out := make([]crypto.Digest, len(payloads))
+	for i, p := range payloads {
+		out[i] = crypto.Hash(p)
+	}
+	return out
+}
+
+// batchDigestOf computes the batch digest from per-payload digests;
+// batchDigest delegates here, so there is a single definition of the
+// digest encoding.
+func batchDigestOf(digests []crypto.Digest) crypto.Digest {
+	w := wire.GetWriter()
+	w.WriteInt(len(digests))
+	for i := range digests {
+		w.WriteRaw(digests[i][:])
+	}
+	d := crypto.Hash(w.Bytes())
+	wire.PutWriter(w)
+	return d
 }
 
 // prepare endorses the batch digest proposed for (view, seq).

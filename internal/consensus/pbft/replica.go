@@ -36,6 +36,7 @@ type entry struct {
 	view     uint64
 	digest   crypto.Digest
 	payloads [][]byte
+	pdigests []crypto.Digest // per-payload digests, cached (see payloadDigestsLocked)
 	havePP   bool
 	ppRaw    signedRaw
 
@@ -58,6 +59,16 @@ func newEntry(seq uint64) *entry {
 		prepareVotes: make(map[ids.NodeID]voteRaw),
 		commitVotes:  make(map[ids.NodeID]voteRaw),
 	}
+}
+
+// payloadDigestsLocked returns the entry's per-payload digests,
+// computing and caching them on first use (entries installed via
+// commit certificates arrive without the cache).
+func (e *entry) payloadDigestsLocked() []crypto.Digest {
+	if e.pdigests == nil && len(e.payloads) > 0 {
+		e.pdigests = payloadDigests(e.payloads)
+	}
+	return e.pdigests
 }
 
 type queuedReq struct {
@@ -132,6 +143,10 @@ type Replica struct {
 	// message for vcTarget as emitted.
 	vcSent bool
 	vcHold time.Time
+
+	// votersScratch is the reusable vote-tally map handed out by
+	// votersLocked (guarded by mu like everything around it).
+	votersScratch map[ids.NodeID]bool
 
 	// voteReqAt rate-limits signed-vote fallback requests per peer;
 	// voteAnsAt rate-limits the answers, so a replayed (validly
@@ -397,15 +412,25 @@ func (r *Replica) onFrames(from ids.NodeID, payloads [][]byte) {
 		return // not a group member
 	}
 	jobs := make([]crypto.Job, 0, len(payloads))
+	// One backing array for the run's inbound records: a saturated
+	// link pays two allocations per drain instead of one per frame.
+	ins := make([]inbound, 0, len(payloads))
 	for _, payload := range payloads {
+		// Zero-copy decode: the envelope's frame, signature and MAC
+		// vector alias the transport payload, which the transport
+		// contract guarantees is immutable shared data. Vote raws
+		// retained in the log therefore pin their frame (and, over
+		// tcpnet, its arena chunk) until checkpoint GC — a bounded,
+		// documented trade for an allocation-free admission path.
 		var raw signedRaw
-		if err := wire.Decode(payload, &raw); err != nil {
+		if err := wire.DecodeShared(payload, &raw); err != nil {
 			continue
 		}
 		if raw.From != from {
 			continue // transport identity must match the claimed sender
 		}
-		in := &inbound{from: from, raw: raw, env: payload}
+		ins = append(ins, inbound{from: from, raw: raw, env: payload})
+		in := &ins[len(ins)-1]
 		var fallback *voteRequest
 		jobs = append(jobs, crypto.Job{
 			Compute: func() error {
@@ -424,7 +449,7 @@ func (r *Replica) onFrames(from ids.NodeID, payloads [][]byte) {
 					}
 				}
 				var err error
-				in.tag, in.msg, err = registry.DecodeFrame(in.raw.Frame)
+				in.tag, in.msg, err = registry.DecodeFrameShared(in.raw.Frame)
 				if err != nil {
 					return err
 				}
@@ -586,12 +611,19 @@ func (r *Replica) dispatch(in *inbound) {
 // stored synchronously (pre-prepare, view change, new view) keep
 // synchronous sealing.
 func (r *Replica) authMulticastLocked(tag wire.TypeTag, m wire.Marshaler, auth crypto.GroupAuthenticator) {
-	frame := registry.EncodeFrame(tag, m)
+	// The frame is encoded under the lock (m may reference locked
+	// state) into a pooled buffer; only the envelope — encoded exactly
+	// once for all recipients — is a fresh allocation, because the
+	// transport retains it. The pooled buffer is released on the
+	// signing lane once the envelope exists.
+	fw := wire.GetWriter()
+	frame := registry.AppendFrame(fw.Bytes(), tag, m)
 	var env []byte
 	r.signLane.Go(func() error {
 		sig, vec := auth.Authenticate(frame)
 		raw := signedRaw{From: r.me, Frame: frame, Sig: sig, MACVec: vec}
 		env = wire.Encode(&raw)
+		wire.PutWriter(fw)
 		return nil
 	}, func(error) {
 		// Deliberately lock-free: with a synchronous pipeline this
@@ -625,32 +657,40 @@ func (r *Replica) maybeProposeLocked(force bool) {
 	}
 }
 
-// takeBatchLocked pops up to BatchSize still-queued payloads. It
-// returns nil if the queue holds fewer than a full batch and force is
-// unset (arming the batch timer instead).
+// takeBatchLocked pops up to BatchSize still-queued payloads off the
+// queue head. It returns nil (leaving the queue untouched) if the
+// queue holds fewer than a full batch and force is unset, arming the
+// batch timer instead. Consuming from the head — rather than
+// rewriting the whole queue — keeps each proposal O(batch), not
+// O(queued): under saturation the queue holds thousands of requests
+// and rewriting it per batch was a measurable share of the hot path.
 func (r *Replica) takeBatchLocked(force bool) []queuedReq {
 	batch := make([]queuedReq, 0, r.cfg.BatchSize)
-	kept := r.queue[:0]
-	for _, q := range r.queue {
-		if len(batch) == r.cfg.BatchSize {
-			kept = append(kept, q)
-			continue
-		}
+	i := 0
+	for ; i < len(r.queue) && len(batch) < r.cfg.BatchSize; i++ {
+		q := r.queue[i]
 		if r.seen[q.digest] != reqQueued {
 			continue // delivered or already in flight; drop silently
 		}
 		batch = append(batch, q)
 	}
 	if len(batch) < r.cfg.BatchSize && !force {
-		// Not enough for a full batch: put everything back and wait
+		// Not enough for a full batch: leave the queue as is and wait
 		// for the batch delay to flush.
-		r.queue = append(kept[:0], r.queue...)
 		if len(batch) > 0 {
 			r.armBatchTimerLocked()
 		}
 		return nil
 	}
-	r.queue = kept
+	// Release the consumed prefix before advancing the slice offset:
+	// the entries behind the offset would otherwise keep their payload
+	// slices reachable until a capacity-exceeding append happens to
+	// reallocate the backing array.
+	clear(r.queue[:i])
+	r.queue = r.queue[i:]
+	if len(r.queue) == 0 {
+		r.queue = nil
+	}
 	if len(batch) == 0 {
 		return nil
 	}
@@ -674,8 +714,10 @@ func (r *Replica) armBatchTimerLocked() {
 
 func (r *Replica) proposeLocked(batch []queuedReq) {
 	payloads := make([][]byte, len(batch))
+	digests := make([]crypto.Digest, len(batch))
 	for i, q := range batch {
 		payloads[i] = q.payload
+		digests[i] = q.digest
 		r.seen[q.digest] = reqInflight
 	}
 	if r.cfg.BatchOccupancy != nil {
@@ -688,8 +730,9 @@ func (r *Replica) proposeLocked(batch []queuedReq) {
 
 	e := r.entryLocked(seq)
 	e.view = r.view
-	e.digest = batchDigest(payloads)
+	e.digest = batchDigestOf(digests)
 	e.payloads = payloads
+	e.pdigests = digests
 	e.havePP = true
 	e.ppRaw = raw
 	r.multicastLocked(env)
@@ -739,13 +782,14 @@ func (r *Replica) handlePrePrepareLocked(from ids.NodeID, pp *prePrepare, raw si
 			}
 		}
 	}
+	digests := payloadDigests(pp.Payloads)
 	e.view = pp.View
-	e.digest = batchDigest(pp.Payloads)
+	e.digest = batchDigestOf(digests)
 	e.payloads = pp.Payloads
+	e.pdigests = digests
 	e.havePP = true
 	e.ppRaw = raw
-	for _, p := range pp.Payloads {
-		d := crypto.Hash(p)
+	for _, d := range digests {
 		if r.seen[d] != reqDelivered {
 			r.seen[d] = reqInflight
 		}
@@ -795,11 +839,24 @@ func (r *Replica) handlePrepareLocked(from ids.NodeID, p *prepare, raw signedRaw
 	r.checkPreparedLocked(e)
 }
 
+// votersLocked returns the reusable quorum-counting scratch map,
+// cleared. Vote tallies run on every prepare/commit arrival, so a
+// fresh map per check would be a steady allocation on the hot path;
+// quorum policies only read the map and never retain it.
+func (r *Replica) votersLocked() map[ids.NodeID]bool {
+	if r.votersScratch == nil {
+		r.votersScratch = make(map[ids.NodeID]bool, len(r.cfg.Group.Members))
+	}
+	clear(r.votersScratch)
+	return r.votersScratch
+}
+
 func (r *Replica) checkPreparedLocked(e *entry) {
 	if !e.havePP {
 		return
 	}
-	voters := map[ids.NodeID]bool{r.cfg.leaderOf(e.view): true}
+	voters := r.votersLocked()
+	voters[r.cfg.leaderOf(e.view)] = true
 	var sigRaws []signedRaw
 	for node, v := range e.prepareVotes {
 		if v.view == e.view && v.digest == e.digest {
@@ -882,7 +939,7 @@ func (r *Replica) checkCommittedLocked(e *entry) {
 	if e.committed || !e.havePP {
 		return
 	}
-	voters := make(map[ids.NodeID]bool, len(e.commitVotes))
+	voters := r.votersLocked()
 	for node, v := range e.commitVotes {
 		if v.view == e.view && v.digest == e.digest {
 			voters[node] = true
@@ -930,8 +987,7 @@ func (r *Replica) deliveryLoop() {
 		r.nextDeliver++
 		r.nextGlobal += uint64(len(e.payloads))
 		r.chain = chainDigest(r.chain, e.digest)
-		for _, p := range e.payloads {
-			d := crypto.Hash(p)
+		for _, d := range e.payloadDigestsLocked() {
 			r.seen[d] = reqDelivered
 			delete(r.pendingSince, d)
 		}
@@ -1028,8 +1084,7 @@ func (r *Replica) stabilizeLocked(batch, global uint64, chain crypto.Digest, pro
 		// Keep committed-but-undelivered entries: the delivery loop
 		// still needs their payloads.
 		if seq <= batch && (e.delivered || !e.committed) {
-			for _, p := range e.payloads {
-				d := crypto.Hash(p)
+			for _, d := range e.payloadDigestsLocked() {
 				if e.delivered || r.seen[d] == reqDelivered {
 					delete(r.seen, d)
 					delete(r.pendingSince, d)
@@ -1058,8 +1113,7 @@ func (r *Replica) performJumpLocked(j *jumpTarget) {
 		if seq > j.batch {
 			continue
 		}
-		for _, p := range e.payloads {
-			d := crypto.Hash(p)
+		for _, d := range e.payloadDigestsLocked() {
 			r.seen[d] = reqDelivered
 			delete(r.pendingSince, d)
 		}
@@ -1382,6 +1436,7 @@ func (r *Replica) installCommittedEntryLocked(ce *committedEntry, v *commitCertV
 	e.view = pp.View
 	e.digest = v.digest
 	e.payloads = pp.Payloads
+	e.pdigests = nil // recomputed lazily for the installed payloads
 	e.havePP = true
 	e.ppRaw = ce.PrePrepare
 	e.prepared = true

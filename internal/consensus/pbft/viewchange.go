@@ -479,7 +479,10 @@ func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*pre
 	r.vcTarget = nv.View
 	r.vcSent = false
 	r.curTimeout = r.cfg.RequestTimeout
-	r.lastNewViewEnv = env
+	// Copied because env may alias a transport receive buffer (tcpnet
+	// hands out arena-backed frame slices); retaining the alias would
+	// pin the whole arena chunk for the lifetime of the view.
+	r.lastNewViewEnv = append([]byte(nil), env...)
 	for target := range r.vcs {
 		if target <= r.view {
 			delete(r.vcs, target)
@@ -531,13 +534,13 @@ func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*pre
 		}
 		e := newEntry(pp.Seq)
 		e.view = nv.View
-		e.digest = batchDigest(pp.Payloads)
 		e.payloads = pp.Payloads
+		digests := e.payloadDigestsLocked()
+		e.digest = batchDigestOf(digests)
 		e.havePP = true
 		e.ppRaw = nv.PrePrepares[i]
 		r.log[pp.Seq] = e
-		for _, p := range pp.Payloads {
-			d := crypto.Hash(p)
+		for _, d := range digests {
 			if r.seen[d] != reqDelivered {
 				r.seen[d] = reqInflight
 			}

@@ -105,8 +105,8 @@ type AgreementReplica struct {
 	lastPos ids.Position // last commit-channel position handed to fanOut
 	winLo   ids.SeqNr
 	winHi   ids.SeqNr
-	t       map[ids.ClientID]uint64   // latest agreed counter per client
-	tplus   map[ids.ClientID]uint64   // next expected counter per client
+	t       map[ids.ClientID]uint64    // latest agreed counter per client
+	tplus   map[ids.ClientID]uint64    // next expected counter per client
 	hist    map[ids.Position]histEntry // last CommitChannelCapacity batches
 	groups  map[ids.GroupID]*egroup
 
@@ -577,6 +577,20 @@ func (a *AgreementReplica) deliver(b consensus.Batch) {
 	}
 }
 
+// batchIsUniform reports whether a batch encodes to identical bytes
+// for every execution group. Only strong reads are group-dependent
+// (the designated group gets the full request, the rest placeholders),
+// so a batch without strong reads — the common write-heavy case — can
+// be encoded once and shared across the whole fan-out.
+func batchIsUniform(he *histEntry) bool {
+	for i := range he.Reqs {
+		if he.Reqs[i].Req.Client.Valid() && he.Reqs[i].Req.Kind == KindStrongRead {
+			return false
+		}
+	}
+	return true
+}
+
 // executeBatchFor builds one group's commit payload for a batch: full
 // requests for writes and admin ops everywhere, full for the
 // designated group of a strong read, placeholders elsewhere
@@ -609,12 +623,26 @@ func (a *AgreementReplica) fanOut(he *histEntry, targets []*egroup) {
 	if need < 1 {
 		need = 1
 	}
+	// Encode-once multicast: a uniform batch serializes identically
+	// for every group, so it is encoded exactly once and the same
+	// slice is shared across all sends (the channel senders treat
+	// submitted payloads as read-only; each still signs its own
+	// wide-area frame). Only batches containing strong reads fall back
+	// to per-group encoding.
+	var shared []byte
+	if batchIsUniform(he) {
+		shared = executeBatchFor(he, targets[0].entry.Group.ID)
+	}
 	done := make(chan struct{}, len(targets))
 	for _, g := range targets {
 		if a.cfg.SendOccupancy != nil {
 			a.cfg.SendOccupancy.Record(len(he.Reqs))
 		}
-		g.sendQ.offer(sendJob{pos: he.Pos, payload: executeBatchFor(he, g.entry.Group.ID), done: done})
+		payload := shared
+		if payload == nil {
+			payload = executeBatchFor(he, g.entry.Group.ID)
+		}
+		g.sendQ.offer(sendJob{pos: he.Pos, payload: payload, done: done})
 	}
 	for i := 0; i < need; i++ {
 		<-done

@@ -205,6 +205,40 @@ func TestBatchSizeOneDeployment(t *testing.T) {
 	t.Fatal("replicas did not converge with BatchSize=1")
 }
 
+// TestBatchSize64Deployment is the other end of the sweep: a batch
+// size far above the offered load, so every proposal is a partial
+// batch flushed by the batch timer and the encode-once fan-out path
+// carries whole batches. Write-path semantics, checkpointing and
+// cross-group propagation must be unchanged.
+func TestBatchSize64Deployment(t *testing.T) {
+	d := newDeploymentBatch(t, 2, testTunables(), 64, nil, 101)
+	d.start()
+	client := d.client(101, d.execGroups[0])
+
+	const writes = 20 // > 2 checkpoint intervals of 8
+	for i := 0; i < writes; i++ {
+		if _, err := client.Write(incOp("n", 1)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, g := range d.execGroups {
+			for _, m := range g.Members {
+				if replicaRead(d, g.ID, m, getOp("n")).Counter != writes {
+					done = false
+				}
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("replicas did not converge with BatchSize=64")
+}
+
 // TestBatchStraddlingWindowDoesNotDeadlock: with AG-WIN equal to the
 // checkpoint interval, a batch that both exceeds winHi and is the
 // first to cross a ka boundary must still deliver — pacing gates on

@@ -1,0 +1,104 @@
+package crypto
+
+import (
+	"testing"
+
+	"spider/internal/ids"
+	"spider/internal/raceflag"
+)
+
+// TestMACVectorAllocs is the allocation-regression guard for the
+// MAC-vector data plane: producing a vector for a 4-member group must
+// stay at two allocations (the entry headers and one shared backing),
+// and verifying an entry must not allocate at all. A regression here
+// silently erodes the zero-allocation win, so it fails CI instead.
+func TestMACVectorAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	suites := benchSuites(t)
+	msg := make([]byte, 64)
+	// Warm the per-peer HMAC state pools and lazily derived keys.
+	vec := MACVector(suites[1], benchGroup, DomainPBFT, msg)
+	if err := VerifyMACVector(suites[2], 1, benchGroup, DomainPBFT, msg, vec); err != nil {
+		t.Fatal(err)
+	}
+
+	signAllocs := testing.AllocsPerRun(200, func() {
+		vec = MACVector(suites[1], benchGroup, DomainPBFT, msg)
+	})
+	if signAllocs > 2 {
+		t.Errorf("MACVector over 4 members: %.1f allocs/op, want <= 2", signAllocs)
+	}
+	verifyAllocs := testing.AllocsPerRun(200, func() {
+		if err := VerifyMACVector(suites[2], 1, benchGroup, DomainPBFT, msg, vec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if verifyAllocs > 0 {
+		t.Errorf("VerifyMACVector: %.1f allocs/op, want 0", verifyAllocs)
+	}
+}
+
+// TestMACAppendAllocs guards the scratch-buffer MAC path: appending
+// into a caller-provided buffer of sufficient capacity must not
+// allocate.
+func TestMACAppendAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	suites := benchSuites(t)
+	msg := make([]byte, 64)
+	dst := make([]byte, 0, DigestSize)
+	suites[1].MACAppend(2, DomainPBFT, msg, dst) // warm the state pool
+	allocs := testing.AllocsPerRun(200, func() {
+		suites[1].MACAppend(2, DomainPBFT, msg, dst)
+	})
+	if allocs > 0 {
+		t.Errorf("MACAppend into scratch: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// benchGroup is the 4-member agreement group every MAC-vector micro
+// benchmark and allocation guard uses (the paper's f=1 configuration).
+var benchGroup = []ids.NodeID{1, 2, 3, 4}
+
+func benchSuites(tb testing.TB) map[ids.NodeID]Suite {
+	tb.Helper()
+	suites := make(map[ids.NodeID]Suite, len(benchGroup))
+	for _, n := range benchGroup {
+		suites[n] = NewInsecureSuite(n, []byte("alloc-bench-master"))
+	}
+	return suites
+}
+
+// BenchmarkMACVectorSignVerify is the MAC-vector sign+verify micro
+// path: node 1 authenticates a frame to its 4-member group, node 2
+// verifies its own entry — exactly what one prepare or commit costs
+// each replica pair under the MAC fast path.
+func BenchmarkMACVectorSignVerify(b *testing.B) {
+	suites := benchSuites(b)
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec := MACVector(suites[1], benchGroup, DomainPBFT, msg)
+		if err := VerifyMACVector(suites[2], 1, benchGroup, DomainPBFT, msg, vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMACSingle isolates one pairwise MAC produce+verify.
+func BenchmarkMACSingle(b *testing.B) {
+	suites := benchSuites(b)
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mac := suites[1].MAC(2, DomainPBFT, msg)
+		if err := suites[2].VerifyMAC(1, DomainPBFT, msg, mac); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

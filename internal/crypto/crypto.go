@@ -29,8 +29,15 @@ type Digest [DigestSize]byte
 // Hash digests raw bytes.
 func Hash(data []byte) Digest { return sha256.Sum256(data) }
 
-// HashMessage digests the canonical wire encoding of m.
-func HashMessage(m wire.Marshaler) Digest { return Hash(wire.Encode(m)) }
+// HashMessage digests the canonical wire encoding of m, encoding into
+// a pooled scratch buffer (no allocation in steady state).
+func HashMessage(m wire.Marshaler) Digest {
+	w := wire.GetWriter()
+	m.MarshalWire(w)
+	d := Hash(w.Bytes())
+	wire.PutWriter(w)
+	return d
+}
 
 // String returns a short hexadecimal prefix for logging.
 func (d Digest) String() string { return fmt.Sprintf("%x", d[:6]) }
@@ -82,6 +89,10 @@ type Suite interface {
 	Verify(signer ids.NodeID, d Domain, msg, sig []byte) error
 	// MAC authenticates msg to the single receiver `to` under d.
 	MAC(to ids.NodeID, d Domain, msg []byte) []byte
+	// MACAppend appends the MAC for (to, d, msg) to dst and returns
+	// the extended slice. It is the allocation-free variant of MAC:
+	// with a dst of sufficient capacity no allocation occurs.
+	MACAppend(to ids.NodeID, d Domain, msg, dst []byte) []byte
 	// VerifyMAC checks a MAC produced by `from` for this node under d.
 	VerifyMAC(from ids.NodeID, d Domain, msg, mac []byte) error
 }
@@ -97,13 +108,21 @@ func payload(d Domain, msg []byte) []byte {
 // MACVector authenticates msg to every member of a group, as used by
 // PBFT-style protocols: one MAC per member, in member order. Members
 // equal to the sender get an empty entry.
+//
+// All MACs share one exactly-sized backing array and the underlying
+// HMAC states are pooled per peer, so producing a whole vector costs
+// two allocations (the entry headers and the backing) regardless of
+// group size.
 func MACVector(s Suite, members []ids.NodeID, d Domain, msg []byte) [][]byte {
 	vec := make([][]byte, len(members))
+	backing := make([]byte, 0, DigestSize*len(members))
 	for i, m := range members {
 		if m == s.Node() {
 			continue
 		}
-		vec[i] = s.MAC(m, d, msg)
+		start := len(backing)
+		backing = s.MACAppend(m, d, msg, backing)
+		vec[i] = backing[start:len(backing):len(backing)]
 	}
 	return vec
 }

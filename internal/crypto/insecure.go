@@ -59,6 +59,10 @@ func (s *insecureSuite) MAC(to ids.NodeID, d Domain, msg []byte) []byte {
 	return s.macs.mac(to, d, msg)
 }
 
+func (s *insecureSuite) MACAppend(to ids.NodeID, d Domain, msg, dst []byte) []byte {
+	return s.macs.macAppend(to, d, msg, dst)
+}
+
 func (s *insecureSuite) VerifyMAC(from ids.NodeID, d Domain, msg, mac []byte) error {
 	return s.macs.verify(from, d, msg, mac)
 }

@@ -182,9 +182,13 @@ func (l *Lane) GoBatch(jobs []Job) {
 	if len(jobs) == 0 {
 		return
 	}
+	// One backing array for the whole run: two allocations per batch
+	// instead of one per job.
+	backing := make([]task, len(jobs))
 	tasks := make([]*task, len(jobs))
 	for i, j := range jobs {
-		tasks[i] = &task{lane: l, compute: j.Compute, deliver: j.Deliver}
+		backing[i] = task{lane: l, compute: j.Compute, deliver: j.Deliver}
+		tasks[i] = &backing[i]
 	}
 	l.mu.Lock()
 	l.q = append(l.q, tasks...)

@@ -2,14 +2,12 @@ package crypto
 
 import (
 	"crypto"
-	"crypto/hmac"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
 	"crypto/x509"
 	"encoding/pem"
 	"fmt"
-	"sync"
 
 	"spider/internal/ids"
 )
@@ -47,14 +45,23 @@ type rsaSuite struct {
 var _ Suite = (*rsaSuite)(nil)
 
 // NewRSASuite creates the suite for one node. All suites of a
-// deployment must share the same directory and master secret.
+// deployment must share the same directory and master secret. The
+// directory names the deployment's full node set, so every pairwise
+// MAC key is derived here, once, and the MAC hot path never takes a
+// lock or derives a key again.
 func NewRSASuite(node ids.NodeID, priv *rsa.PrivateKey, dir *Directory, masterSecret []byte) Suite {
-	return &rsaSuite{
+	s := &rsaSuite{
 		node: node,
 		priv: priv,
 		dir:  dir,
 		macs: newMACProvider(node, masterSecret),
 	}
+	peers := make([]ids.NodeID, 0, len(dir.keys))
+	for id := range dir.keys {
+		peers = append(peers, id)
+	}
+	s.macs.preload(peers)
+	return s
 }
 
 func (s *rsaSuite) Node() ids.NodeID { return s.node }
@@ -87,74 +94,12 @@ func (s *rsaSuite) MAC(to ids.NodeID, d Domain, msg []byte) []byte {
 	return s.macs.mac(to, d, msg)
 }
 
+func (s *rsaSuite) MACAppend(to ids.NodeID, d Domain, msg, dst []byte) []byte {
+	return s.macs.macAppend(to, d, msg, dst)
+}
+
 func (s *rsaSuite) VerifyMAC(from ids.NodeID, d Domain, msg, mac []byte) error {
 	return s.macs.verify(from, d, msg, mac)
-}
-
-// macProvider derives and caches pairwise HMAC keys. In a production
-// system these keys would be established by a handshake; the
-// reproduction derives them from a master secret shared at deployment
-// time so that a node can only compute MACs for pairs it belongs to
-// (the provider refuses to derive keys for foreign pairs).
-type macProvider struct {
-	node   ids.NodeID
-	master []byte
-
-	mu   sync.Mutex
-	keys map[ids.NodeID][]byte
-}
-
-func newMACProvider(node ids.NodeID, master []byte) *macProvider {
-	return &macProvider{
-		node:   node,
-		master: append([]byte(nil), master...),
-		keys:   make(map[ids.NodeID][]byte),
-	}
-}
-
-// pairKey returns the key shared between this node and peer, deriving
-// and caching it on first use.
-func (p *macProvider) pairKey(peer ids.NodeID) []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if k, ok := p.keys[peer]; ok {
-		return k
-	}
-	lo, hi := p.node, peer
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	mac := hmac.New(sha256.New, p.master)
-	var buf [8]byte
-	putNodeID(buf[:4], lo)
-	putNodeID(buf[4:], hi)
-	mac.Write(buf[:])
-	k := mac.Sum(nil)
-	p.keys[peer] = k
-	return k
-}
-
-func putNodeID(b []byte, id ids.NodeID) {
-	v := uint32(id)
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-}
-
-func (p *macProvider) mac(to ids.NodeID, d Domain, msg []byte) []byte {
-	mac := hmac.New(sha256.New, p.pairKey(to))
-	mac.Write([]byte{byte(d)})
-	mac.Write(msg)
-	return mac.Sum(nil)
-}
-
-func (p *macProvider) verify(from ids.NodeID, d Domain, msg, got []byte) error {
-	want := p.mac(from, d, msg)
-	if !hmac.Equal(want, got) {
-		return fmt.Errorf("%w: from %v", ErrBadMAC, from)
-	}
-	return nil
 }
 
 // GenerateKey creates a fresh RSA key of the given size.

@@ -263,11 +263,68 @@ func Seal(suite crypto.Suite, tag wire.TypeTag, frame []byte, to ids.NodeID) ([]
 	return wire.Encode(&env), nil
 }
 
+// SealMulti builds authenticated envelopes for every recipient,
+// marshaling the message exactly once: for signed tags one envelope is
+// shared by all recipients (the signature is recipient independent);
+// for MAC'd tags each recipient's envelope is assembled in a pooled
+// writer (MAC into reused scratch) and costs one exactly-sized
+// allocation. emit is called once per recipient with a slice the
+// callee owns (shared between recipients for signed tags — treat it
+// as read-only).
+func SealMulti(suite crypto.Suite, tag wire.TypeTag, frame []byte, to []ids.NodeID, emit func(ids.NodeID, []byte)) error {
+	domain, signed, err := AuthDomain(tag)
+	if err != nil {
+		return err
+	}
+	if signed {
+		env, err := Seal(suite, tag, frame, ids.NoNode)
+		if err != nil {
+			return err
+		}
+		for _, r := range to {
+			emit(r, env)
+		}
+		return nil
+	}
+	ew := wire.GetWriter()
+	var macScratch [crypto.DigestSize]byte
+	e := Envelope{From: suite.Node(), Frame: frame}
+	for _, r := range to {
+		e.Auth = suite.MACAppend(r, domain, frame, macScratch[:0])
+		ew.Reset()
+		e.MarshalWire(ew)
+		env := append([]byte(nil), ew.Bytes()...)
+		emit(r, env)
+	}
+	wire.PutWriter(ew)
+	return nil
+}
+
+// Sealed pairs a recipient with its sealed envelope.
+type Sealed struct {
+	To  ids.NodeID
+	Env []byte
+}
+
+// SealAll seals frame for every recipient via SealMulti and returns
+// the envelopes in recipient order, for callers that finish their CPU
+// accounting before handing the envelopes to the transport.
+func SealAll(suite crypto.Suite, tag wire.TypeTag, frame []byte, to []ids.NodeID) []Sealed {
+	out := make([]Sealed, 0, len(to))
+	_ = SealMulti(suite, tag, frame, to, func(r ids.NodeID, env []byte) {
+		out = append(out, Sealed{To: r, Env: env})
+	})
+	return out
+}
+
 // Open verifies an envelope received from `from` and returns the
-// decoded message.
+// decoded message. The envelope is decoded zero-copy (its frame and
+// auth fields alias payload, which the transport contract keeps
+// immutable); the inner message is decoded with owning reads, so
+// nothing the caller retains aliases the transport buffer.
 func Open(suite crypto.Suite, reg *wire.Registry, from ids.NodeID, payload []byte) (wire.TypeTag, wire.Message, error) {
 	var env Envelope
-	if err := wire.Decode(payload, &env); err != nil {
+	if err := wire.DecodeShared(payload, &env); err != nil {
 		return 0, nil, err
 	}
 	if env.From != from {

@@ -110,16 +110,10 @@ func (s *Sender) MoveWindow(sc ids.Subchannel, p ids.Position) {
 
 	stop := s.cfg.Track()
 	frame := s.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
-	envs := make(map[ids.NodeID][]byte, len(s.cfg.Receivers.Members))
-	for _, r := range s.cfg.Receivers.Members {
-		env, err := irmc.Seal(s.cfg.Suite, irmc.TagMove, frame, r)
-		if err == nil {
-			envs[r] = env
-		}
-	}
+	envs := irmc.SealAll(s.cfg.Suite, irmc.TagMove, frame, s.cfg.Receivers.Members)
 	stop()
-	for r, env := range envs {
-		s.cfg.Node.Send(r, s.cfg.Stream, env)
+	for _, se := range envs {
+		s.cfg.Node.Send(se.To, s.cfg.Stream, se.Env)
 	}
 }
 
@@ -287,16 +281,10 @@ func (r *Receiver) moveLocked(sc ids.Subchannel, p ids.Position) bool {
 func (r *Receiver) notifySenders(sc ids.Subchannel, p ids.Position) {
 	stop := r.cfg.Track()
 	frame := r.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
-	envs := make(map[ids.NodeID][]byte, len(r.cfg.Senders.Members))
-	for _, s := range r.cfg.Senders.Members {
-		env, err := irmc.Seal(r.cfg.Suite, irmc.TagMove, frame, s)
-		if err == nil {
-			envs[s] = env
-		}
-	}
+	envs := irmc.SealAll(r.cfg.Suite, irmc.TagMove, frame, r.cfg.Senders.Members)
 	stop()
-	for s, env := range envs {
-		r.cfg.Node.Send(s, r.cfg.Stream, env)
+	for _, se := range envs {
+		r.cfg.Node.Send(se.To, r.cfg.Stream, se.Env)
 	}
 }
 

@@ -156,15 +156,10 @@ func (s *Sender) Send(sc ids.Subchannel, p ids.Position, msg []byte) error {
 	frame := s.reg.EncodeFrame(irmc.TagSigShare, &irmc.SigShareMsg{
 		Subchannel: sc, Position: p, Digest: digest, Sig: shareSig,
 	})
-	envs := make(map[ids.NodeID][]byte, len(s.cfg.Senders.Members))
-	for _, peer := range s.cfg.Senders.Members {
-		if env, err := irmc.Seal(s.cfg.Suite, irmc.TagSigShare, frame, peer); err == nil {
-			envs[peer] = env
-		}
-	}
+	envs := irmc.SealAll(s.cfg.Suite, irmc.TagSigShare, frame, s.cfg.Senders.Members)
 	stop()
-	for peer, env := range envs {
-		s.cfg.Node.Send(peer, s.cfg.Stream, env)
+	for _, se := range envs {
+		s.cfg.Node.Send(se.To, s.cfg.Stream, se.Env)
 	}
 	return nil
 }
@@ -182,15 +177,10 @@ func (s *Sender) MoveWindow(sc ids.Subchannel, p ids.Position) {
 
 	stop := s.cfg.Track()
 	frame := s.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
-	envs := make(map[ids.NodeID][]byte, len(s.cfg.Receivers.Members))
-	for _, r := range s.cfg.Receivers.Members {
-		if env, err := irmc.Seal(s.cfg.Suite, irmc.TagMove, frame, r); err == nil {
-			envs[r] = env
-		}
-	}
+	envs := irmc.SealAll(s.cfg.Suite, irmc.TagMove, frame, s.cfg.Receivers.Members)
 	stop()
-	for r, env := range envs {
-		s.cfg.Node.Send(r, s.cfg.Stream, env)
+	for _, se := range envs {
+		s.cfg.Node.Send(se.To, s.cfg.Stream, se.Env)
 	}
 }
 
@@ -296,15 +286,10 @@ func (s *Sender) sendCert(cert *irmc.CertificateMsg, targets []ids.NodeID) {
 	}
 	stop := s.cfg.Track()
 	frame := s.reg.EncodeFrame(irmc.TagCertificate, cert)
-	envs := make(map[ids.NodeID][]byte, len(targets))
-	for _, rr := range targets {
-		if env, err := irmc.Seal(s.cfg.Suite, irmc.TagCertificate, frame, rr); err == nil {
-			envs[rr] = env
-		}
-	}
+	envs := irmc.SealAll(s.cfg.Suite, irmc.TagCertificate, frame, targets)
 	stop()
-	for rr, env := range envs {
-		s.cfg.Node.Send(rr, s.cfg.Stream, env)
+	for _, se := range envs {
+		s.cfg.Node.Send(se.To, s.cfg.Stream, se.Env)
 	}
 }
 
@@ -410,15 +395,10 @@ func (s *Sender) announceProgress() {
 		return
 	}
 	frame := s.reg.EncodeFrame(irmc.TagProgress, msg)
-	envs := make(map[ids.NodeID][]byte, len(s.cfg.Receivers.Members))
-	for _, rr := range s.cfg.Receivers.Members {
-		if env, err := irmc.Seal(s.cfg.Suite, irmc.TagProgress, frame, rr); err == nil {
-			envs[rr] = env
-		}
-	}
+	envs := irmc.SealAll(s.cfg.Suite, irmc.TagProgress, frame, s.cfg.Receivers.Members)
 	stop()
-	for rr, env := range envs {
-		s.cfg.Node.Send(rr, s.cfg.Stream, env)
+	for _, se := range envs {
+		s.cfg.Node.Send(se.To, s.cfg.Stream, se.Env)
 	}
 }
 
@@ -566,15 +546,10 @@ func (r *Receiver) moveLocked(sc ids.Subchannel, p ids.Position) bool {
 func (r *Receiver) notifySenders(sc ids.Subchannel, p ids.Position) {
 	stop := r.cfg.Track()
 	frame := r.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
-	envs := make(map[ids.NodeID][]byte, len(r.cfg.Senders.Members))
-	for _, sender := range r.cfg.Senders.Members {
-		if env, err := irmc.Seal(r.cfg.Suite, irmc.TagMove, frame, sender); err == nil {
-			envs[sender] = env
-		}
-	}
+	envs := irmc.SealAll(r.cfg.Suite, irmc.TagMove, frame, r.cfg.Senders.Members)
 	stop()
-	for sender, env := range envs {
-		r.cfg.Node.Send(sender, r.cfg.Stream, env)
+	for _, se := range envs {
+		r.cfg.Node.Send(se.To, r.cfg.Stream, se.Env)
 	}
 }
 
@@ -769,15 +744,10 @@ func (r *Receiver) checkCollectors() {
 	for _, sw := range switches {
 		stop := r.cfg.Track()
 		frame := r.reg.EncodeFrame(irmc.TagSelect, sw.msg)
-		envs := make(map[ids.NodeID][]byte, len(r.cfg.Senders.Members))
-		for _, sender := range r.cfg.Senders.Members {
-			if env, err := irmc.Seal(r.cfg.Suite, irmc.TagSelect, frame, sender); err == nil {
-				envs[sender] = env
-			}
-		}
+		envs := irmc.SealAll(r.cfg.Suite, irmc.TagSelect, frame, r.cfg.Senders.Members)
 		stop()
-		for sender, env := range envs {
-			r.cfg.Node.Send(sender, r.cfg.Stream, env)
+		for _, se := range envs {
+			r.cfg.Node.Send(se.To, r.cfg.Stream, se.Env)
 		}
 	}
 }

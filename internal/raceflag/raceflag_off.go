@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package raceflag reports whether the race detector instruments this
+// build. Allocation-count guards skip under the detector: its shadow
+// bookkeeping allocates, so testing.AllocsPerRun budgets calibrated
+// for production builds would fail spuriously.
+package raceflag
+
+// Enabled is true when the binary is built with -race.
+const Enabled = false

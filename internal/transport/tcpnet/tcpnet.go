@@ -362,8 +362,9 @@ func (n *Node) serveConn(conn net.Conn) {
 		return
 	}
 
+	var arena recvArena
 	for {
-		stream, payload, err := readFrame(br)
+		stream, payload, err := readFrame(br, &arena)
 		if err != nil {
 			return
 		}
@@ -375,7 +376,7 @@ func (n *Node) serveConn(conn net.Conn) {
 		payloads := [][]byte{payload}
 		corrupt := false
 		for len(payloads) < maxInboundBatch {
-			nextPayload, ok, err := readBufferedFrame(br, stream)
+			nextPayload, ok, err := readBufferedFrame(br, stream, &arena)
 			if err != nil {
 				// The next header is garbage, but the frames already
 				// collected arrived intact — deliver them before the
@@ -401,8 +402,41 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 }
 
-// readFrame reads one length-prefixed frame, blocking as needed.
-func readFrame(br *bufio.Reader) (transport.Stream, []byte, error) {
+// recvArena carves inbound frame payloads out of chunked allocations,
+// so a saturated connection pays one allocation per chunk instead of
+// one per frame. Chunks are handed out, never recycled: handlers may
+// retain a frame slice across asynchronous verification (the protocol
+// layers do), and the garbage collector frees a chunk once no frame
+// references it. The flip side is that one retained frame pins its
+// whole chunk, so long-lived retention must copy — see the ownership
+// rules on transport.Handler.
+type recvArena struct {
+	free []byte
+}
+
+// arenaChunkSize balances allocation amortization against the memory a
+// single retained frame can pin.
+const arenaChunkSize = 64 << 10
+
+// bigFrameCutoff keeps frames that would waste a large fraction of a
+// chunk out of the arena; they get an exact private allocation.
+const bigFrameCutoff = arenaChunkSize / 4
+
+func (a *recvArena) alloc(n int) []byte {
+	if n >= bigFrameCutoff {
+		return make([]byte, n)
+	}
+	if len(a.free) < n {
+		a.free = make([]byte, arenaChunkSize)
+	}
+	out := a.free[:n:n]
+	a.free = a.free[n:]
+	return out
+}
+
+// readFrame reads one length-prefixed frame, blocking as needed. The
+// payload is carved from the receive arena.
+func readFrame(br *bufio.Reader, arena *recvArena) (transport.Stream, []byte, error) {
 	var header [8]byte
 	if _, err := io.ReadFull(br, header[:]); err != nil {
 		return 0, nil, err
@@ -412,7 +446,7 @@ func readFrame(br *bufio.Reader) (transport.Stream, []byte, error) {
 	if length > maxFrameSize {
 		return 0, nil, errors.New("tcpnet: oversized frame")
 	}
-	payload := make([]byte, length)
+	payload := arena.alloc(int(length))
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return 0, nil, err
 	}
@@ -422,7 +456,7 @@ func readFrame(br *bufio.Reader) (transport.Stream, []byte, error) {
 // readBufferedFrame reads the next frame only if it is entirely
 // buffered already and belongs to stream; it never blocks on the
 // network. ok=false means no such frame is ready.
-func readBufferedFrame(br *bufio.Reader, stream transport.Stream) ([]byte, bool, error) {
+func readBufferedFrame(br *bufio.Reader, stream transport.Stream, arena *recvArena) ([]byte, bool, error) {
 	if br.Buffered() < 8 {
 		return nil, false, nil
 	}
@@ -441,7 +475,7 @@ func readBufferedFrame(br *bufio.Reader, stream transport.Stream) ([]byte, bool,
 	if _, err := br.Discard(8); err != nil {
 		return nil, false, err
 	}
-	payload := make([]byte, length)
+	payload := arena.alloc(int(length))
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return nil, false, err
 	}

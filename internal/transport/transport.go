@@ -14,6 +14,24 @@
 // wait must hand the frame to its own goroutine. These are exactly the
 // assumptions the paper's protocols make of their channels, with
 // retransmission and flow control layered above (IRMCs, client retry).
+//
+// # Buffer ownership
+//
+// Send transfers ownership of payload to the transport: the caller
+// must not mutate the slice afterwards. Transports never copy on this
+// boundary — memnet delivers the sender's slice to the receiver
+// unchanged, a multicast shares one slice across all destinations, and
+// tcpnet queues the slice until the connection writer flushes it. The
+// paper's cheap normal case depends on this zero-copy rule: one
+// encoded frame serves an entire multicast.
+//
+// On delivery, the payload handed to a Handler is immutable shared
+// data: the handler may read it from any goroutine and may retain it
+// (delivery to async crypto lanes relies on that), but must never
+// write to it — other frames may share the same backing allocation
+// (tcpnet carves inbound frames from a receive arena). Because a
+// retained frame pins its whole arena chunk, long-lived retention
+// (state stored across views, checkpoints) should copy.
 package transport
 
 import "spider/internal/ids"

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"spider/internal/raceflag"
+)
+
+// TestAppendEncodeRoundTrip pins the append-tier ownership contract:
+// AppendEncode extends the caller's slice, leaves the prefix intact,
+// and produces bytes identical to Encode.
+func TestAppendEncodeRoundTrip(t *testing.T) {
+	m := &fuzzMsg{U: 7, I: -3, B: true, Raw: 0x5A, Bs: []byte("abc"),
+		S: "s", F: 2.5, Vec: [][]byte{[]byte("m1"), nil},
+		Sub: fuzzInner{N: 1, P: []byte("p")}}
+	canonical := Encode(m)
+
+	prefix := []byte("prefix:")
+	out := AppendEncode(append([]byte(nil), prefix...), m)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("AppendEncode clobbered the prefix: %q", out[:len(prefix)])
+	}
+	if !bytes.Equal(out[len(prefix):], canonical) {
+		t.Fatalf("AppendEncode bytes differ from Encode")
+	}
+
+	var m2 fuzzMsg
+	if err := Decode(out[len(prefix):], &m2); err != nil {
+		t.Fatalf("decode appended encoding: %v", err)
+	}
+	if !m.equal(&m2) {
+		t.Fatal("append round trip changed the message")
+	}
+}
+
+// TestAppendFrameRoundTrip checks the framed variant against
+// EncodeFrame and DecodeFrame.
+func TestAppendFrameRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(3, "fuzz", func() Message { return new(fuzzMsg) })
+	m := &fuzzMsg{U: 9, Bs: []byte("payload"), Vec: [][]byte{{1, 2}}}
+
+	framed := reg.AppendFrame(nil, 3, m)
+	if !bytes.Equal(framed, reg.EncodeFrame(3, m)) {
+		t.Fatal("AppendFrame bytes differ from EncodeFrame")
+	}
+	tag, decoded, err := reg.DecodeFrame(framed)
+	if err != nil || tag != 3 {
+		t.Fatalf("decode appended frame: tag %d, err %v", tag, err)
+	}
+	if !m.equal(decoded.(*fuzzMsg)) {
+		t.Fatal("frame round trip changed the message")
+	}
+}
+
+// TestAppendEncodeAllocs guards the zero-allocation promise of the
+// append tier: with sufficient capacity, neither AppendEncode nor
+// AppendFrame may allocate.
+func TestAppendEncodeAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	reg := NewRegistry()
+	reg.Register(3, "fuzz", func() Message { return new(fuzzMsg) })
+	m := &fuzzMsg{U: 9, Bs: []byte("payload"), Vec: [][]byte{{1, 2}}}
+	dst := make([]byte, 0, 256)
+	AppendEncode(dst, m) // warm the writer pool
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		AppendEncode(dst, m)
+	}); allocs > 0 {
+		t.Errorf("AppendEncode with capacity: %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		reg.AppendFrame(dst, 3, m)
+	}); allocs > 0 {
+		t.Errorf("AppendFrame with capacity: %.1f allocs/op, want 0", allocs)
+	}
+}

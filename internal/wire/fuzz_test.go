@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzMsg exercises every codec primitive, including nested messages
+// and byte-slice lists (the shapes the protocol envelopes use).
+type fuzzMsg struct {
+	U   uint64
+	I   int64
+	B   bool
+	Raw byte
+	Bs  []byte
+	S   string
+	F   float64
+	Vec [][]byte
+	Sub fuzzInner
+}
+
+type fuzzInner struct {
+	N uint64
+	P []byte
+}
+
+func (m *fuzzInner) MarshalWire(w *Writer) {
+	w.WriteUvarint(m.N)
+	w.WriteBytes(m.P)
+}
+
+func (m *fuzzInner) UnmarshalWire(r *Reader) {
+	m.N = r.ReadUvarint()
+	m.P = r.ReadBytes()
+}
+
+func (m *fuzzMsg) MarshalWire(w *Writer) {
+	w.WriteUvarint(m.U)
+	w.WriteVarint(m.I)
+	w.WriteBool(m.B)
+	w.WriteU8(m.Raw)
+	w.WriteBytes(m.Bs)
+	w.WriteString(m.S)
+	w.WriteFloat64(m.F)
+	w.WriteBytesList(m.Vec)
+	w.WriteMessage(&m.Sub)
+}
+
+func (m *fuzzMsg) UnmarshalWire(r *Reader) {
+	m.U = r.ReadUvarint()
+	m.I = r.ReadVarint()
+	m.B = r.ReadBool()
+	m.Raw = r.ReadU8()
+	m.Bs = r.ReadBytes()
+	m.S = r.ReadString()
+	m.F = r.ReadFloat64()
+	m.Vec = r.ReadBytesList()
+	r.ReadMessage(&m.Sub)
+}
+
+func (m *fuzzMsg) equal(o *fuzzMsg) bool {
+	if m.U != o.U || m.I != o.I || m.B != o.B || m.Raw != o.Raw ||
+		!bytes.Equal(m.Bs, o.Bs) || m.S != o.S ||
+		m.F != o.F || // NaN never round-trips through the fuzz body below
+		len(m.Vec) != len(o.Vec) ||
+		m.Sub.N != o.Sub.N || !bytes.Equal(m.Sub.P, o.Sub.P) {
+		return false
+	}
+	for i := range m.Vec {
+		if !bytes.Equal(m.Vec[i], o.Vec[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fuzzSeeds returns representative wire inputs: valid encodings plus
+// the classic decoder traps — truncation, oversized length prefixes,
+// and inputs engineered to poison the reader mid-message.
+func fuzzSeeds() [][]byte {
+	valid := Encode(&fuzzMsg{
+		U: 42, I: -7, B: true, Raw: 0xAB,
+		Bs: []byte("payload"), S: "seed", F: 1.5,
+		Vec: [][]byte{[]byte("mac-1"), nil, []byte("mac-3")},
+		Sub: fuzzInner{N: 9, P: []byte("inner")},
+	})
+	seeds := [][]byte{
+		valid,
+		valid[:len(valid)/2], // truncated mid-message
+		valid[:1],
+		{},
+	}
+	// Oversized byte-slice length prefix: claims 1 GiB of payload.
+	var w Writer
+	w.WriteUvarint(42)
+	w.WriteVarint(-7)
+	w.WriteBool(true)
+	w.WriteU8(0xAB)
+	w.WriteUvarint(1 << 30)
+	seeds = append(seeds, append([]byte(nil), w.Bytes()...))
+	// Oversized list count: claims 2^20 MAC entries.
+	w.Reset()
+	w.WriteUvarint(42)
+	w.WriteVarint(-7)
+	w.WriteBool(true)
+	w.WriteU8(0xAB)
+	w.WriteBytes(nil)
+	w.WriteString("")
+	w.WriteFloat64(0)
+	w.WriteInt(1 << 20)
+	seeds = append(seeds, append([]byte(nil), w.Bytes()...))
+	// Bad bool byte poisons the reader early.
+	w.Reset()
+	w.WriteUvarint(1)
+	w.WriteVarint(1)
+	w.WriteU8(7) // invalid bool
+	seeds = append(seeds, append([]byte(nil), w.Bytes()...))
+	// Non-minimal varint / 10-byte overflow pattern.
+	seeds = append(seeds, bytes.Repeat([]byte{0xFF}, 12))
+	return seeds
+}
+
+// FuzzWireRoundTrip fuzzes the codec in both modes (copying and
+// shared/zero-copy readers): decoding arbitrary bytes must never
+// panic, a failed decode must be reported by Close, and any input that
+// decodes cleanly must re-encode to a canonical form that decodes to
+// the same message. The seed corpus runs as part of the normal test
+// suite (`go test`), so `make check` covers these cases in short mode.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m fuzzMsg
+		err := Decode(data, &m)
+
+		var ms fuzzMsg
+		errShared := DecodeShared(data, &ms)
+		if (err == nil) != (errShared == nil) {
+			t.Fatalf("copying and shared decode disagree: %v vs %v", err, errShared)
+		}
+		// A manually driven shared reader must agree with DecodeShared.
+		var mr fuzzMsg
+		sr := NewSharedReader(data)
+		mr.UnmarshalWire(sr)
+		if (sr.Close() == nil) != (errShared == nil) {
+			t.Fatalf("NewSharedReader and DecodeShared disagree")
+		}
+		if err != nil {
+			return
+		}
+		if m.F != m.F {
+			return // NaN: encodes fine but never compares equal
+		}
+		if !m.equal(&ms) {
+			t.Fatalf("copying and shared decode produced different messages")
+		}
+		// Canonical round trip: re-encoding a decoded message and
+		// decoding again must reproduce it exactly.
+		enc := Encode(&m)
+		var m2 fuzzMsg
+		if err := Decode(enc, &m2); err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !m.equal(&m2) {
+			t.Fatalf("canonical round trip changed the message")
+		}
+	})
+}
+
+// FuzzFrameDecode fuzzes the registry framing (tag dispatch plus body
+// decode), the entry point every transport payload passes through.
+func FuzzFrameDecode(f *testing.F) {
+	reg := NewRegistry()
+	reg.Register(1, "fuzz", func() Message { return new(fuzzMsg) })
+	valid := reg.EncodeFrame(1, &fuzzMsg{U: 7, Bs: []byte("x"), Vec: [][]byte{{1}}})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{99})           // unknown tag
+	f.Add(valid[:len(valid)-1]) // truncated body
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tag, m, err := reg.DecodeFrame(data)
+		tagS, mS, errS := reg.DecodeFrameShared(data)
+		if (err == nil) != (errS == nil) || tag != tagS {
+			t.Fatalf("copying and shared frame decode disagree: %v vs %v", err, errS)
+		}
+		if err != nil {
+			return
+		}
+		a, b := m.(*fuzzMsg), mS.(*fuzzMsg)
+		if a.F != a.F {
+			return // NaN
+		}
+		if !a.equal(b) {
+			t.Fatalf("frame decode modes produced different messages")
+		}
+	})
+}

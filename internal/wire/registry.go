@@ -42,17 +42,39 @@ func (g *Registry) Register(tag TypeTag, name string, factory func() Message) {
 	g.tags[name] = tag
 }
 
-// EncodeFrame serializes m prefixed with its type tag.
+// EncodeFrame serializes m prefixed with its type tag into a fresh,
+// exactly-sized slice the caller owns.
 func (g *Registry) EncodeFrame(tag TypeTag, m Marshaler) []byte {
-	var w Writer
+	w := GetWriter()
 	w.WriteU8(byte(tag))
-	m.MarshalWire(&w)
-	return w.Bytes()
+	m.MarshalWire(w)
+	out := append([]byte(nil), w.Bytes()...)
+	PutWriter(w)
+	return out
+}
+
+// AppendFrame serializes m prefixed with its type tag, appending to
+// dst; the caller owns dst throughout (see the package ownership
+// rules). With sufficient capacity no allocation occurs. It is the
+// framing companion of AppendEncode and the hot-path encode primitive
+// (pbft's multicast path appends frames into pooled writer buffers).
+func (g *Registry) AppendFrame(dst []byte, tag TypeTag, m Marshaler) []byte {
+	return AppendEncode(append(dst, byte(tag)), m)
 }
 
 // DecodeFrame parses a frame produced by EncodeFrame, returning the tag
 // and the decoded message.
 func (g *Registry) DecodeFrame(buf []byte) (TypeTag, Message, error) {
+	return g.decodeFrame(buf, false)
+}
+
+// DecodeFrameShared is DecodeFrame with a zero-copy reader: decoded
+// byte-slice fields alias buf (see NewSharedReader for the contract).
+func (g *Registry) DecodeFrameShared(buf []byte) (TypeTag, Message, error) {
+	return g.decodeFrame(buf, true)
+}
+
+func (g *Registry) decodeFrame(buf []byte, shared bool) (TypeTag, Message, error) {
 	if len(buf) == 0 {
 		return 0, nil, fmt.Errorf("%w: empty frame", ErrCorrupt)
 	}
@@ -62,7 +84,13 @@ func (g *Registry) DecodeFrame(buf []byte) (TypeTag, Message, error) {
 		return 0, nil, fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
 	}
 	m := factory()
-	if err := Decode(buf[1:], m); err != nil {
+	var err error
+	if shared {
+		err = DecodeShared(buf[1:], m)
+	} else {
+		err = Decode(buf[1:], m)
+	}
+	if err != nil {
 		return 0, nil, fmt.Errorf("tag %d: %w", tag, err)
 	}
 	return tag, m, nil

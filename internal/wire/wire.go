@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"spider/internal/ids"
 )
@@ -36,19 +37,87 @@ type Message interface {
 	Unmarshaler
 }
 
-// Encode serializes m into a fresh byte slice.
-func Encode(m Marshaler) []byte {
-	var w Writer
-	m.MarshalWire(&w)
-	return w.Bytes()
+// Buffer-ownership rules. Encoding offers three tiers:
+//
+//   - Encode returns a fresh, exactly-sized slice the caller owns
+//     outright — use it when the bytes are retained (stored in a log,
+//     handed to a transport queue).
+//   - AppendEncode appends to a caller-provided slice and returns it;
+//     the caller owns dst before and after. With sufficient capacity
+//     the call performs no allocation.
+//   - GetWriter/PutWriter lend a pooled Writer for transient frames:
+//     the bytes are valid only until PutWriter, so anything that
+//     outlives the call must be copied (or encoded via Encode).
+//
+// Internally every tier runs through the writer pool, so even Encode
+// performs exactly one allocation (the returned slice) instead of a
+// growth chain.
+
+// writerPool recycles Writers across encode calls. Buffers above
+// maxPooledBuf are dropped on return so one huge message cannot pin
+// memory in the pool forever.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+const maxPooledBuf = 1 << 20 // 1 MiB
+
+// GetWriter borrows an empty Writer from the pool. Pair with
+// PutWriter; the Writer's bytes are invalid after return.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
 }
+
+// PutWriter returns a Writer to the pool.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > maxPooledBuf {
+		w.buf = nil
+	}
+	writerPool.Put(w)
+}
+
+// Encode serializes m into a fresh, exactly-sized byte slice the
+// caller owns.
+func Encode(m Marshaler) []byte {
+	w := GetWriter()
+	m.MarshalWire(w)
+	out := append([]byte(nil), w.buf...)
+	PutWriter(w)
+	return out
+}
+
+// AppendEncode serializes m, appending to dst, and returns the
+// extended slice. The caller owns dst throughout; with sufficient
+// capacity no allocation occurs. The borrowed writer's own buffer is
+// saved across the call and restored before the writer returns to the
+// pool, so lending it out for dst never strips a pooled writer of its
+// accumulated capacity.
+func AppendEncode(dst []byte, m Marshaler) []byte {
+	w := writerPool.Get().(*Writer)
+	saved := w.buf
+	w.buf = dst
+	m.MarshalWire(w)
+	out := w.buf
+	w.buf = saved[:0]
+	writerPool.Put(w)
+	return out
+}
+
+// readerPool recycles Readers across Decode calls; a Reader escapes to
+// the heap through the Unmarshaler interface call, so without the pool
+// every decoded frame would allocate one.
+var readerPool = sync.Pool{New: func() any { return new(Reader) }}
 
 // Decode parses buf into m, failing if bytes remain or the buffer is
 // short.
 func Decode(buf []byte, m Unmarshaler) error {
-	r := NewReader(buf)
+	r := readerPool.Get().(*Reader)
+	*r = Reader{buf: buf}
 	m.UnmarshalWire(r)
-	return r.Close()
+	err := r.Close()
+	r.buf = nil
+	readerPool.Put(r)
+	return err
 }
 
 // Writer accumulates an encoded message. The zero value is ready to
@@ -156,9 +225,10 @@ func (w *Writer) WriteSubchannel(sc ids.Subchannel) { w.WriteVarint(int64(sc)) }
 
 // WriteMessage appends a length-prefixed nested message.
 func (w *Writer) WriteMessage(m Marshaler) {
-	var inner Writer
-	m.MarshalWire(&inner)
+	inner := GetWriter()
+	m.MarshalWire(inner)
 	w.WriteBytes(inner.Bytes())
+	PutWriter(inner)
 }
 
 // ErrCorrupt is reported by Reader.Close when decoding failed or bytes
@@ -170,13 +240,34 @@ var ErrCorrupt = errors.New("wire: corrupt message")
 // failure. This keeps message decoding code free of per-field error
 // handling while still rejecting malformed input.
 type Reader struct {
-	buf []byte
-	off int
-	err error
+	buf    []byte
+	off    int
+	err    error
+	shared bool
 }
 
 // NewReader returns a reader over buf. The reader does not copy buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// NewSharedReader returns a zero-copy reader: byte-slice reads return
+// subslices of buf instead of copies. The caller asserts that buf is
+// immutable for as long as any decoded slice is in use — the contract
+// delivered transport frames already satisfy — and accepts that a
+// retained slice pins buf (and, for arena-backed frames, its whole
+// chunk) in memory; copy before long-lived retention.
+func NewSharedReader(buf []byte) *Reader { return &Reader{buf: buf, shared: true} }
+
+// DecodeShared parses buf into m like Decode, but with a shared
+// (zero-copy) reader: see NewSharedReader for the aliasing contract.
+func DecodeShared(buf []byte, m Unmarshaler) error {
+	r := readerPool.Get().(*Reader)
+	*r = Reader{buf: buf, shared: true}
+	m.UnmarshalWire(r)
+	err := r.Close()
+	r.buf = nil
+	readerPool.Put(r)
+	return err
+}
 
 // Err returns the sticky decoding error, if any.
 func (r *Reader) Err() error { return r.err }
@@ -285,7 +376,8 @@ func (r *Reader) ReadU8() byte {
 const maxSliceLen = 1 << 26 // 64 MiB
 
 // ReadBytes consumes a length-prefixed byte slice. The result is a
-// copy, safe to retain.
+// copy safe to retain — unless the reader is shared, in which case it
+// aliases the input buffer.
 func (r *Reader) ReadBytes() []byte {
 	n := r.ReadUvarint()
 	if r.err != nil {
@@ -295,13 +387,19 @@ func (r *Reader) ReadBytes() []byte {
 		r.fail("bad slice length")
 		return nil
 	}
+	if r.shared {
+		out := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+		r.off += int(n)
+		return out
+	}
 	out := make([]byte, n)
 	copy(out, r.buf[r.off:r.off+int(n)])
 	r.off += int(n)
 	return out
 }
 
-// ReadRaw consumes exactly n raw bytes (no prefix). The result is a copy.
+// ReadRaw consumes exactly n raw bytes (no prefix). The result is a
+// copy (an alias for shared readers, like ReadBytes).
 func (r *Reader) ReadRaw(n int) []byte {
 	if r.err != nil {
 		return nil
@@ -309,6 +407,11 @@ func (r *Reader) ReadRaw(n int) []byte {
 	if n < 0 || n > len(r.buf)-r.off {
 		r.fail("short raw read")
 		return nil
+	}
+	if r.shared {
+		out := r.buf[r.off : r.off+n : r.off+n]
+		r.off += n
+		return out
 	}
 	out := make([]byte, n)
 	copy(out, r.buf[r.off:r.off+n])
@@ -321,7 +424,10 @@ func (r *Reader) ReadRaw(n int) []byte {
 const maxListLen = 1 << 16
 
 // ReadBytesList consumes a list written by WriteBytesList. An empty
-// list decodes as nil.
+// list decodes as nil. On the well-formed path every entry shares one
+// exactly-sized backing allocation (a MAC vector decodes in two
+// allocations instead of one per member); a malformed list falls back
+// to per-entry reads so the precise error is reported.
 func (r *Reader) ReadBytesList() [][]byte {
 	n := r.ReadInt()
 	if r.err != nil {
@@ -334,9 +440,40 @@ func (r *Reader) ReadBytesList() [][]byte {
 	if n == 0 {
 		return nil
 	}
+	// Prescan the entry lengths from the current offset so the copies
+	// below can share a single backing array.
+	total, off, wellFormed := 0, r.off, true
+	for i := 0; i < n; i++ {
+		ln, sz := binary.Uvarint(r.buf[off:])
+		if sz <= 0 || ln > maxSliceLen || ln > uint64(len(r.buf)-off-sz) {
+			wellFormed = false
+			break
+		}
+		off += sz + int(ln)
+		total += int(ln)
+	}
 	out := make([][]byte, n)
+	if !wellFormed {
+		for i := range out {
+			out[i] = r.ReadBytes()
+		}
+		return out
+	}
+	if r.shared {
+		for i := range out {
+			ln := int(r.ReadUvarint())
+			out[i] = r.buf[r.off : r.off+ln : r.off+ln]
+			r.off += ln
+		}
+		return out
+	}
+	backing := make([]byte, 0, total)
 	for i := range out {
-		out[i] = r.ReadBytes()
+		ln := int(r.ReadUvarint())
+		start := len(backing)
+		backing = append(backing, r.buf[r.off:r.off+ln]...)
+		r.off += ln
+		out[i] = backing[start : start+ln : start+ln]
 	}
 	return out
 }
@@ -371,13 +508,20 @@ func (r *Reader) ReadPos() ids.Position { return ids.Position(r.ReadUvarint()) }
 // ReadSubchannel consumes a subchannel identifier.
 func (r *Reader) ReadSubchannel() ids.Subchannel { return ids.Subchannel(r.ReadVarint()) }
 
-// ReadMessage consumes a length-prefixed nested message into m.
+// ReadMessage consumes a length-prefixed nested message into m,
+// propagating the reader's sharing mode.
 func (r *Reader) ReadMessage(m Unmarshaler) {
 	b := r.ReadBytes()
 	if r.err != nil {
 		return
 	}
-	if err := Decode(b, m); err != nil {
+	var err error
+	if r.shared {
+		err = DecodeShared(b, m)
+	} else {
+		err = Decode(b, m)
+	}
+	if err != nil {
 		r.fail("nested message: " + err.Error())
 	}
 }

@@ -1,0 +1,200 @@
+// Command benchcompare diffs two bench snapshots produced by
+// `make bench-snapshot` (go test -json streams). It reconstructs the
+// plain benchmark output from the JSON events and, when benchstat is
+// installed, delegates the statistics to it; otherwise it prints a
+// plain-text side-by-side table of every metric (ns/op, allocs/op,
+// B/op, and custom metrics like req/s) with the relative change.
+//
+// Usage: go run ./tools/benchcompare OLD.json NEW.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLines extracts the benchmark result lines from a go test -json
+// stream (those starting with "Benchmark" and carrying tab-separated
+// metrics).
+func benchLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	// go test -json emits the benchmark name and its measurements as
+	// separate output events ("BenchmarkFoo \t" first, the
+	// "  2000\t 75004 ns/op\t ..." line once the run finishes), so the
+	// two are stitched back together here.
+	var pending string
+	add := func(line string) {
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "Benchmark") && strings.Contains(line, "/op"):
+			lines = append(lines, line)
+			pending = ""
+		case strings.HasPrefix(line, "Benchmark"):
+			pending = strings.TrimSpace(line)
+		case pending != "" && strings.Contains(line, "/op"):
+			lines = append(lines, pending+"\t"+strings.TrimSpace(line))
+			pending = ""
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		var ev testEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			// Tolerate plain-text lines so hand-edited snapshots work.
+			add(string(raw))
+			continue
+		}
+		if ev.Action == "output" {
+			add(ev.Output)
+		}
+	}
+	return lines, sc.Err()
+}
+
+// metrics maps "benchmark name / unit" to a value.
+type metrics map[string]map[string]float64
+
+func parse(lines []string) metrics {
+	m := make(metrics)
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimSuffix(fields[0], "-1") // strip GOMAXPROCS suffix
+		name = trimProcSuffix(name)
+		if m[name] == nil {
+			m[name] = make(map[string]float64)
+		}
+		// fields[1] is the iteration count; the rest come in
+		// value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[name][fields[i+1]] = v
+		}
+	}
+	return m
+}
+
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// lowerIsBetter reports whether a unit improves downwards.
+func lowerIsBetter(unit string) bool {
+	switch unit {
+	case "req/s", "msg/s":
+		return false
+	}
+	return true
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldLines, err := benchLines(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	newLines, err := benchLines(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+
+	if path, err := exec.LookPath("benchstat"); err == nil {
+		if runBenchstat(path, oldLines, newLines) {
+			return
+		}
+		// benchstat failed: fall through to the plain-text diff.
+	}
+
+	oldM, newM := parse(oldLines), parse(newLines)
+	names := make([]string, 0, len(newM))
+	for name := range newM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-44s %-12s %14s %14s %9s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, name := range names {
+		units := make([]string, 0, len(newM[name]))
+		for unit := range newM[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			nv := newM[name][unit]
+			ov, ok := oldM[name][unit]
+			if !ok {
+				fmt.Printf("%-44s %-12s %14s %14.1f %9s\n", name, unit, "-", nv, "new")
+				continue
+			}
+			delta := "~"
+			if ov != 0 {
+				pct := (nv - ov) / ov * 100
+				sign := ""
+				if pct > 0 {
+					sign = "+"
+				}
+				marker := ""
+				if (pct < -1 && lowerIsBetter(unit)) || (pct > 1 && !lowerIsBetter(unit)) {
+					marker = " ✓"
+				}
+				delta = fmt.Sprintf("%s%.1f%%%s", sign, pct, marker)
+			}
+			fmt.Printf("%-44s %-12s %14.1f %14.1f %9s\n", name, unit, ov, nv, delta)
+		}
+	}
+}
+
+// runBenchstat reconstructs plain bench output into temp files and
+// invokes benchstat on them; reports whether it ran successfully.
+func runBenchstat(path string, oldLines, newLines []string) bool {
+	dir, err := os.MkdirTemp("", "benchcompare")
+	if err != nil {
+		return false
+	}
+	defer os.RemoveAll(dir)
+	oldFile := filepath.Join(dir, "old.txt")
+	newFile := filepath.Join(dir, "new.txt")
+	if os.WriteFile(oldFile, []byte(strings.Join(oldLines, "\n")+"\n"), 0o644) != nil {
+		return false
+	}
+	if os.WriteFile(newFile, []byte(strings.Join(newLines, "\n")+"\n"), 0o644) != nil {
+		return false
+	}
+	cmd := exec.Command(path, oldFile, newFile)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd.Run() == nil
+}
