@@ -3,8 +3,10 @@
 GO ?= go
 
 ## BENCH_PATTERN: the benchmark set snapshots record — the agreement
-## throughput suite plus the zero-allocation micro paths.
-BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle
+## throughput suite, the zero-allocation micro paths, and the
+## commit-channel dedup byte metrics (commit-B/req and wire-B/req on a
+## strong-read-heavy workload, with dedup on and off).
+BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle|CommitDedup
 
 .PHONY: check build vet test race fuzz-seeds bench bench-snapshot bench-compare tidy
 

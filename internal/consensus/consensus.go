@@ -16,7 +16,10 @@
 //     except across garbage collection.
 package consensus
 
-import "spider/internal/ids"
+import (
+	"spider/internal/crypto"
+	"spider/internal/ids"
+)
 
 // Batch is one delivered consensus decision. Protocols order payloads
 // in batches (PBFT proposes up to BatchSize payloads per instance);
@@ -38,10 +41,17 @@ import "spider/internal/ids"
 //     a null batch, which still consumes a batch sequence number (and
 //     therefore must still be announced downstream so position
 //     accounting keyed on batch numbers never stalls).
+//   - Digests, when non-nil, carries crypto.Hash(Payloads[i]) per
+//     payload. Protocols that already hash payloads (PBFT caches them
+//     on the log entry) pass the cached values so the layer above —
+//     which content-addresses payloads for commit-channel dedup — does
+//     not hash everything again; consumers must fall back to hashing
+//     when it is absent.
 type Batch struct {
 	Seq      uint64
 	Start    ids.SeqNr
 	Payloads [][]byte
+	Digests  []crypto.Digest
 }
 
 // End returns the global sequence number of the last payload, or

@@ -134,6 +134,7 @@ type Replica struct {
 	vcs           map[uint64]map[ids.NodeID]vcVote
 	lastStatusReq time.Time
 	batchTimerOn  bool
+	batchTimer    *time.Timer // live partial-batch flush timer, canceled by Stop
 
 	// View-change emission state for the MAC fast path: after entering
 	// a view change the replica may briefly hold its view-change
@@ -264,6 +265,11 @@ func (r *Replica) Stop() {
 	}
 	r.stopped = true
 	r.stopFlag.Store(true)
+	if r.batchTimer != nil {
+		r.batchTimer.Stop()
+		r.batchTimer = nil
+		r.batchTimerOn = false
+	}
 	close(r.done)
 	r.cond.Broadcast()
 	r.mu.Unlock()
@@ -702,10 +708,14 @@ func (r *Replica) armBatchTimerLocked() {
 		return
 	}
 	r.batchTimerOn = true
-	time.AfterFunc(r.cfg.BatchDelay, func() {
+	// The timer handle is retained so Stop can cancel it: an orphaned
+	// AfterFunc would fire into the stopped replica's lock and keep the
+	// replica reachable until the delay elapses.
+	r.batchTimer = time.AfterFunc(r.cfg.BatchDelay, func() {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		r.batchTimerOn = false
+		r.batchTimer = nil
 		if !r.stopped {
 			r.maybeProposeLocked(true)
 		}
@@ -994,6 +1004,7 @@ func (r *Replica) deliveryLoop() {
 		r.curTimeout = r.cfg.RequestTimeout // progress: reset backoff
 
 		payloads := e.payloads
+		pdigests := e.payloadDigestsLocked() // already cached; delivered entries are immutable
 		globalStart := e.globalStart
 		batchSeq := e.seq
 
@@ -1015,6 +1026,7 @@ func (r *Replica) deliveryLoop() {
 			Seq:      batchSeq,
 			Start:    ids.SeqNr(globalStart),
 			Payloads: payloads,
+			Digests:  pdigests,
 		})
 	}
 }

@@ -1,0 +1,62 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStopCancelsBatchTimer: a partial batch arms the flush timer;
+// Stop must cancel it instead of leaving a live time.AfterFunc that
+// later fires into the stopped replica's lock (and keeps the replica
+// reachable until the delay elapses).
+func TestStopCancelsBatchTimer(t *testing.T) {
+	c := newCluster(t, 4, 1, func(i int, cfg *Config) {
+		cfg.BatchSize = 8
+		cfg.BatchDelay = time.Minute // must never fire during the test
+	})
+	c.start()
+	defer c.stop() // Stop is idempotent; the leader is stopped early below
+	leader := c.replicas[0]
+	leader.Order([]byte("lonely request")) // < BatchSize: arms the timer
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leader.mu.Lock()
+		armed := leader.batchTimer != nil && leader.batchTimerOn
+		leader.mu.Unlock()
+		if armed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partial batch never armed the flush timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	leader.Stop()
+	leader.mu.Lock()
+	timer, on := leader.batchTimer, leader.batchTimerOn
+	leader.mu.Unlock()
+	if timer != nil || on {
+		t.Fatalf("Stop left the batch timer live (timer=%v on=%v)", timer != nil, on)
+	}
+}
+
+// TestBatchTimerFlushesPartialBatch guards the timer's normal job: a
+// partial batch must still be proposed once BatchDelay elapses.
+func TestBatchTimerFlushesPartialBatch(t *testing.T) {
+	c := newCluster(t, 4, 1, func(i int, cfg *Config) {
+		cfg.BatchSize = 8
+		cfg.BatchDelay = 2 * time.Millisecond
+	})
+	c.start()
+	defer c.stop()
+	c.replicas[0].Order([]byte("flush me"))
+	deadline := time.Now().Add(5 * time.Second)
+	for c.collectors[0].count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("partial batch was never flushed by the timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

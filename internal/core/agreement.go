@@ -5,6 +5,7 @@ import (
 	"log"
 	"sort"
 	"sync"
+	"time"
 
 	"spider/internal/checkpoint"
 	"spider/internal/consensus"
@@ -126,9 +127,11 @@ type AgreementReplica struct {
 
 	// undecodable counts ordered payloads that failed to decode in
 	// deliver — an invariant violation (validatePayload admitted them),
-	// so it is counted and logged once rather than silently swallowed.
-	undecodable     stats.Counter
-	undecodableOnce sync.Once
+	// so it is counted and logged with rate limiting: a corruption
+	// storm hours after the first event must still be visible, without
+	// a log line per payload.
+	undecodable    stats.Counter
+	undecodableLog *stats.LogGate
 
 	stopped bool
 	wg      sync.WaitGroup
@@ -138,6 +141,10 @@ type AgreementReplica struct {
 // which matches the access pattern (a request is revalidated shortly
 // after its first admission, never long after).
 const vcacheLimit = 8192
+
+// undecodableLogInterval rate-limits undecodable-payload log lines; the
+// counter keeps exact totals in between.
+const undecodableLogInterval = time.Minute
 
 type recvKey struct {
 	group  ids.GroupID
@@ -152,16 +159,17 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 		return nil, err
 	}
 	a := &AgreementReplica{
-		cfg:       cfg,
-		me:        cfg.Suite.Node(),
-		t:         make(map[ids.ClientID]uint64),
-		tplus:     make(map[ids.ClientID]uint64),
-		hist:      make(map[ids.Position]histEntry),
-		groups:    make(map[ids.GroupID]*egroup),
-		recvLoops: make(map[recvKey]bool),
-		vcache:    make(map[crypto.Digest]struct{}),
-		winLo:     1,
-		winHi:     ids.SeqNr(cfg.Tunables.AgreementWindow),
+		cfg:            cfg,
+		me:             cfg.Suite.Node(),
+		t:              make(map[ids.ClientID]uint64),
+		tplus:          make(map[ids.ClientID]uint64),
+		hist:           make(map[ids.Position]histEntry),
+		groups:         make(map[ids.GroupID]*egroup),
+		recvLoops:      make(map[recvKey]bool),
+		vcache:         make(map[crypto.Digest]struct{}),
+		undecodableLog: stats.NewLogGate(undecodableLogInterval),
+		winLo:          1,
+		winHi:          ids.SeqNr(cfg.Tunables.AgreementWindow),
 	}
 	a.cond = sync.NewCond(&a.mu)
 
@@ -307,6 +315,10 @@ func (a *AgreementReplica) attachGroupLocked(entry GroupEntry) error {
 	if err != nil {
 		return err
 	}
+	var wireBytes *stats.Counter
+	if a.cfg.CommitStats != nil {
+		wireBytes = &a.cfg.CommitStats.WireBytes
+	}
 	commitSend, err := newChannelSender(a.cfg.Tunables.Channel, irmc.Config{
 		Senders:            a.cfg.Group,
 		Receivers:          entry.Group,
@@ -315,6 +327,7 @@ func (a *AgreementReplica) attachGroupLocked(entry GroupEntry) error {
 		Node:               a.cfg.Node,
 		Stream:             commitStream(gid),
 		Meter:              a.cfg.Meter,
+		SendBytes:          wireBytes,
 		ProgressIntervalMS: a.cfg.Tunables.ChannelProgressMS,
 		CollectorTimeoutMS: a.cfg.Tunables.ChannelCollectorMS,
 		Pipeline:           a.cfg.Pipeline,
@@ -489,6 +502,7 @@ func (a *AgreementReplica) deliver(b consensus.Batch) {
 	end := b.End()
 
 	reqs := make([]WrappedRequest, len(b.Payloads))
+	digests := make([]crypto.Digest, len(b.Payloads))
 	undecodable := 0
 	for i, payload := range b.Payloads {
 		if err := wire.Decode(payload, &reqs[i]); err != nil {
@@ -499,14 +513,26 @@ func (a *AgreementReplica) deliver(b consensus.Batch) {
 			// visible instead of silently swallowing it.
 			reqs[i] = WrappedRequest{}
 			undecodable++
+			continue
+		}
+		// The content digest of the ordered bytes — the exact bytes the
+		// forwarding group's replicas encoded and cached — keys the
+		// commit-channel dedup references. Consensus already hashed
+		// every payload (PBFT caches the digests on its log entry), so
+		// reuse its values and hash only when the protocol did not
+		// provide them.
+		if i < len(b.Digests) && b.Digests[i] != (crypto.Digest{}) {
+			digests[i] = b.Digests[i]
+		} else {
+			digests[i] = crypto.Hash(payload)
 		}
 	}
 	if undecodable > 0 {
 		a.undecodable.Add(int64(undecodable))
-		a.undecodableOnce.Do(func() {
-			log.Printf("core: agreement replica %v: ordered payload failed to decode (seqs %d..%d); counting further occurrences in stats only",
-				a.me, b.Start, end)
-		})
+		if a.undecodableLog.Allow() {
+			log.Printf("core: agreement replica %v: %d ordered payload(s) failed to decode (seqs %d..%d); %d total, next report in %s at the earliest",
+				a.me, undecodable, b.Start, end, a.undecodable.Load(), undecodableLogInterval)
+		}
 	}
 
 	a.mu.Lock()
@@ -546,7 +572,7 @@ func (a *AgreementReplica) deliver(b consensus.Batch) {
 			a.applyAdminLocked(pos, req.Op)
 		}
 	}
-	he := histEntry{Pos: pos, Start: b.Start, Reqs: reqs}
+	he := histEntry{Pos: pos, Start: b.Start, Reqs: reqs, Digests: digests}
 	a.hist[pos] = he
 	a.lastPos = pos
 	prev := a.sn
@@ -577,26 +603,26 @@ func (a *AgreementReplica) deliver(b consensus.Batch) {
 	}
 }
 
-// batchIsUniform reports whether a batch encodes to identical bytes
-// for every execution group. Only strong reads are group-dependent
-// (the designated group gets the full request, the rest placeholders),
-// so a batch without strong reads — the common write-heavy case — can
-// be encoded once and shared across the whole fan-out.
-func batchIsUniform(he *histEntry) bool {
-	for i := range he.Reqs {
-		if he.Reqs[i].Req.Client.Valid() && he.Reqs[i].Req.Kind == KindStrongRead {
-			return false
-		}
-	}
-	return true
+// encodedBatch is one encoding variant of a batch's commit payload,
+// with the dedup accounting of its request slots.
+type encodedBatch struct {
+	payload []byte
+	refs    int // slots sent by digest reference
+	full    int // slots sent with full content
 }
 
 // executeBatchFor builds one group's commit payload for a batch: full
-// requests for writes and admin ops everywhere, full for the
-// designated group of a strong read, placeholders elsewhere
-// (Section 3.3); request slots without a valid client stay no-ops.
-func executeBatchFor(he *histEntry, gid ids.GroupID) []byte {
+// requests for writes and admin ops, full for the designated group of
+// a strong read, placeholders elsewhere (Section 3.3); request slots
+// without a valid client stay no-ops. With dedup enabled, content the
+// destination group forwarded itself travels as a by-digest reference
+// instead of in full — the group's replicas encoded exactly these
+// bytes when they submitted the request, so the reference resolves
+// from their payload cache (admin ops always go in full: they also
+// execute at the agreement group and must survive any cache state).
+func executeBatchFor(he *histEntry, gid ids.GroupID, dedup bool) encodedBatch {
 	em := ExecuteBatchMsg{Start: he.Start, Items: make([]ExecuteItem, len(he.Reqs))}
+	var eb encodedBatch
 	for i := range he.Reqs {
 		wrapped := &he.Reqs[i]
 		switch {
@@ -604,11 +630,38 @@ func executeBatchFor(he *histEntry, gid ids.GroupID) []byte {
 			// no-op slot: zero item
 		case wrapped.Req.Kind == KindStrongRead && wrapped.Group != gid:
 			em.Items[i] = ExecuteItem{Client: wrapped.Req.Client, Counter: wrapped.Req.Counter}
+		case dedup && wrapped.Group == gid && wrapped.Req.Kind != KindAdmin && he.digest(i) != (crypto.Digest{}):
+			em.Items[i] = ExecuteItem{Ref: true, Digest: he.digest(i)}
+			eb.refs++
 		default:
 			em.Items[i] = ExecuteItem{Full: true, Req: *wrapped}
+			eb.full++
 		}
 	}
-	return wire.Encode(&em)
+	eb.payload = wire.Encode(&em)
+	return eb
+}
+
+// divergentGroups returns the set of group ids whose commit payload
+// for this batch differs from the shared "outsider" encoding: the
+// designated group of every strong read, and — with dedup on — the
+// forwarding group of every request (its copy carries references).
+// Groups outside the set all receive identical bytes.
+func divergentGroups(he *histEntry, dedup bool) map[ids.GroupID]bool {
+	var out map[ids.GroupID]bool
+	for i := range he.Reqs {
+		w := &he.Reqs[i]
+		if !w.Req.Client.Valid() {
+			continue
+		}
+		if w.Req.Kind == KindStrongRead || (dedup && w.Req.Kind != KindAdmin) {
+			if out == nil {
+				out = make(map[ids.GroupID]bool, 4)
+			}
+			out[w.Group] = true
+		}
+	}
+	return out
 }
 
 // fanOut hands one batch to every group's sender worker — one Send,
@@ -623,26 +676,50 @@ func (a *AgreementReplica) fanOut(he *histEntry, targets []*egroup) {
 	if need < 1 {
 		need = 1
 	}
-	// Encode-once multicast: a uniform batch serializes identically
-	// for every group, so it is encoded exactly once and the same
-	// slice is shared across all sends (the channel senders treat
-	// submitted payloads as read-only; each still signs its own
-	// wide-area frame). Only batches containing strong reads fall back
-	// to per-group encoding.
-	var shared []byte
-	if batchIsUniform(he) {
-		shared = executeBatchFor(he, targets[0].entry.Group.ID)
+	dedup := a.cfg.CommitDedup == DedupOn
+	// Variant-memoized encoding: a group's payload depends only on
+	// which of the batch's items name it as their forwarding group, so
+	// at most one encoding per forwarding group present in the batch is
+	// needed, plus one shared "outsider" encoding for everyone else
+	// (the channel senders treat submitted payloads as read-only; each
+	// still signs its own wide-area frame). A uniform batch — no strong
+	// reads, no dedup-able requests for any target — still encodes
+	// exactly once.
+	divergent := divergentGroups(he, dedup)
+	var outsider *encodedBatch
+	var perGroup map[ids.GroupID]*encodedBatch
+	payloadFor := func(gid ids.GroupID) *encodedBatch {
+		if divergent[gid] {
+			if eb, ok := perGroup[gid]; ok {
+				return eb
+			}
+			eb := executeBatchFor(he, gid, dedup)
+			if perGroup == nil {
+				perGroup = make(map[ids.GroupID]*encodedBatch, len(divergent))
+			}
+			perGroup[gid] = &eb
+			return &eb
+		}
+		if outsider == nil {
+			// ids.NoGroup matches no forwarding group: every slot
+			// encodes as it would for an uninvolved destination.
+			eb := executeBatchFor(he, ids.NoGroup, dedup)
+			outsider = &eb
+		}
+		return outsider
 	}
 	done := make(chan struct{}, len(targets))
 	for _, g := range targets {
 		if a.cfg.SendOccupancy != nil {
 			a.cfg.SendOccupancy.Record(len(he.Reqs))
 		}
-		payload := shared
-		if payload == nil {
-			payload = executeBatchFor(he, g.entry.Group.ID)
+		eb := payloadFor(g.entry.Group.ID)
+		if cs := a.cfg.CommitStats; cs != nil {
+			cs.PayloadBytes.Add(int64(len(eb.payload)))
+			cs.RefsSent.Add(int64(eb.refs))
+			cs.FullSent.Add(int64(eb.full))
 		}
-		g.sendQ.offer(sendJob{pos: he.Pos, payload: payload, done: done})
+		g.sendQ.offer(sendJob{pos: he.Pos, payload: eb.payload, done: done})
 	}
 	for i := 0; i < need; i++ {
 		<-done

@@ -330,4 +330,20 @@ func TestUndecodablePayloadCounted(t *testing.T) {
 	if !ok || len(he.Reqs) != 2 || he.Reqs[0].Req.Client.Valid() || he.Reqs[1].Req.Client != 7 {
 		t.Fatalf("hist entry = %+v ok=%v, want no-op slot then client 7", he, ok)
 	}
+	if he.digest(0) != (crypto.Digest{}) {
+		t.Fatal("undecodable slot recorded a content digest (would be sent by reference)")
+	}
+	if want := crypto.Hash(wire.Encode(&good)); he.digest(1) != want {
+		t.Fatal("good slot's content digest not recorded")
+	}
+
+	// A second corruption storm later must still be counted — the old
+	// sync.Once logging is gone, the counter stays exact (log lines are
+	// rate-limited by the gate, at most one per interval).
+	ar.deliver(consensus.Batch{Seq: 2, Start: 3, Payloads: [][]byte{
+		[]byte("\x01 second storm, also not a WrappedRequest"),
+	}})
+	if got := ar.UndecodablePayloads(); got != 2 {
+		t.Fatalf("UndecodablePayloads after second storm = %d, want 2", got)
+	}
 }

@@ -57,7 +57,17 @@ type Tunables struct {
 	// ChannelProgressMS / ChannelCollectorMS tune IRMC-SC.
 	ChannelProgressMS  int
 	ChannelCollectorMS int
+	// PayloadCacheEntries bounds the execution replicas'
+	// content-addressed payload cache (commit-channel dedup;
+	// default 4096 entries). Requests resolve within one wide-area
+	// round trip of being forwarded, so a small cache suffices; a miss
+	// only costs a checkpoint fetch, never safety.
+	PayloadCacheEntries int
 }
+
+// defaultPayloadCacheEntries bounds the dedup payload cache when the
+// tunable is unset.
+const defaultPayloadCacheEntries = 4096
 
 func (t *Tunables) applyDefaults() {
 	if t.RequestChannelCapacity <= 0 {
@@ -74,6 +84,9 @@ func (t *Tunables) applyDefaults() {
 	}
 	if t.AgreementWindow <= 0 {
 		t.AgreementWindow = 2 * t.AgreementCheckpointInterval
+	}
+	if t.PayloadCacheEntries <= 0 {
+		t.PayloadCacheEntries = defaultPayloadCacheEntries
 	}
 }
 
@@ -161,6 +174,15 @@ type ExecutionConfig struct {
 	Tunables Tunables
 	// Meter, when set, accounts this replica's processing time.
 	Meter *stats.CPUMeter
+	// CommitDedup must match the agreement group's setting: with dedup
+	// on, forwarded payloads are hashed into the content-addressed
+	// cache that resolves the commit channel's by-digest references;
+	// with dedup off no references arrive, so the cache (and its
+	// per-request SHA-256) is skipped entirely.
+	CommitDedup DedupMode
+	// CommitStats, when set, accumulates this replica's payload-cache
+	// hit/miss counts (commit-channel dedup). May be shared.
+	CommitStats *CommitStats
 	// Pipeline runs client-signature checks and channel verification
 	// off the transport goroutines; nil selects the process-wide
 	// default pool.
@@ -223,6 +245,15 @@ type AgreementConfig struct {
 	// view changes, checkpoints and certificates. Set
 	// pbft.AuthSignatures for the fully signed variant.
 	ConsensusAuth pbft.AuthMode
+	// CommitDedup selects whether fanOut substitutes by-digest
+	// references for request content the destination group forwarded
+	// (default on). All agreement replicas of a deployment must agree:
+	// the substitution is part of the commit-channel payload bytes the
+	// IRMC fs+1 matching rule compares.
+	CommitDedup DedupMode
+	// CommitStats, when set, accumulates commit-channel byte and dedup
+	// counters across fanOut and the channel senders. May be shared.
+	CommitStats *CommitStats
 	// Meter, when set, accounts this replica's processing time.
 	Meter *stats.CPUMeter
 	// BatchOccupancy, when set, records the requests per consensus

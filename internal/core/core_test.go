@@ -24,6 +24,10 @@ type deployment struct {
 	agreement []*AgreementReplica
 	execution map[ids.GroupID][]*ExecutionReplica
 	apps      map[ids.NodeID]*app.KVStore
+
+	// commit aggregates the commit-channel byte and dedup counters of
+	// every replica in the deployment.
+	commit *CommitStats
 }
 
 // testTunables keeps checkpoint intervals small so tests exercise them.
@@ -48,11 +52,26 @@ func newDeployment(t *testing.T, numExec int, tun Tunables, adminClients []ids.C
 // unbatched semantics stay reachable.
 func newDeploymentBatch(t *testing.T, numExec int, tun Tunables, batch int, adminClients []ids.ClientID, clientIDs ...ids.ClientID) *deployment {
 	t.Helper()
+	return newDeploymentDedup(t, numExec, tun, batch, DedupOn, adminClients, clientIDs...)
+}
+
+// newDeploymentDedup additionally pins the commit-channel dedup mode,
+// so tests can compare the reference and full-content data planes.
+func newDeploymentDedup(t *testing.T, numExec int, tun Tunables, batch int, dedup DedupMode, adminClients []ids.ClientID, clientIDs ...ids.ClientID) *deployment {
+	t.Helper()
+	return newDeploymentSuite(t, numExec, tun, batch, dedup, crypto.SuiteInsecure, adminClients, clientIDs...)
+}
+
+// newDeploymentSuite additionally selects the crypto suite, for tests
+// that measure byte costs with the paper's RSA-1024 signatures.
+func newDeploymentSuite(t *testing.T, numExec int, tun Tunables, batch int, dedup DedupMode, suite crypto.SuiteKind, adminClients []ids.ClientID, clientIDs ...ids.ClientID) *deployment {
+	t.Helper()
 	d := &deployment{
 		t:         t,
 		net:       memnet.New(memnet.Options{}),
 		execution: make(map[ids.GroupID][]*ExecutionReplica),
 		apps:      make(map[ids.NodeID]*app.KVStore),
+		commit:    &CommitStats{},
 	}
 	d.agGroup = ids.Group{ID: 1, Members: []ids.NodeID{1, 2, 3, 4}, F: 1}
 	all := append([]ids.NodeID{}, d.agGroup.Members...)
@@ -73,7 +92,7 @@ func newDeploymentBatch(t *testing.T, numExec int, tun Tunables, batch int, admi
 	for n := ids.NodeID(51); n <= 53; n++ {
 		all = append(all, n)
 	}
-	d.suites = crypto.NewSuites(all, crypto.SuiteInsecure)
+	d.suites = crypto.NewSuites(all, suite)
 
 	var entries []GroupEntry
 	for _, g := range d.execGroups {
@@ -89,6 +108,8 @@ func newDeploymentBatch(t *testing.T, numExec int, tun Tunables, batch int, admi
 			Tunables:         tun,
 			ConsensusTimeout: 500 * time.Millisecond,
 			ConsensusBatch:   batch,
+			CommitDedup:      dedup,
+			CommitStats:      d.commit,
 		})
 		if err != nil {
 			t.Fatalf("agreement replica %v: %v", m, err)
@@ -113,6 +134,8 @@ func newDeploymentBatch(t *testing.T, numExec int, tun Tunables, batch int, admi
 				Node:           d.net.Node(m),
 				App:            kv,
 				Tunables:       tun,
+				CommitDedup:    dedup,
+				CommitStats:    d.commit,
 			})
 			if err != nil {
 				t.Fatalf("execution replica %v: %v", m, err)

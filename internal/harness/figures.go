@@ -114,6 +114,7 @@ type LatencyRow struct {
 	Summary stats.Summary
 	Batch   stats.OccupancySummary // requests per proposed consensus batch
 	Send    stats.OccupancySummary // requests per commit-channel Send
+	Commit  core.CommitSummary     // commit-channel bytes and dedup counters
 }
 
 // runLatency builds a system, runs one workload, and emits one row per
@@ -131,6 +132,7 @@ func runLatency(p RunProfile, system System, label string, kind core.RequestKind
 	}
 	batch := cluster.BatchOcc.Summarize()
 	send := cluster.SendOcc.Summarize()
+	commit := cluster.Commit.Summarize()
 	var rows []LatencyRow
 	for _, region := range cluster.Opts.Regions {
 		rows = append(rows, LatencyRow{
@@ -140,6 +142,7 @@ func runLatency(p RunProfile, system System, label string, kind core.RequestKind
 			Summary: recorders[region].Summarize(),
 			Batch:   batch,
 			Send:    send,
+			Commit:  commit,
 		})
 	}
 	return rows, nil
@@ -339,7 +342,9 @@ func RenderLatencyRows(title string, rows []LatencyRow) string {
 	}
 	// One occupancy footnote per (system, leader) configuration that
 	// recorded batches: underfilled batches explain latency/throughput
-	// trade-offs the bare percentiles hide.
+	// trade-offs the bare percentiles hide. The commit-channel line
+	// adds bytes per ordered request and the dedup cache outcome, the
+	// headline metrics of the payload dedup path.
 	seen := make(map[string]bool)
 	for _, r := range rows {
 		key := r.System + "|" + r.Leader
@@ -349,6 +354,11 @@ func RenderLatencyRows(title string, rows []LatencyRow) string {
 		seen[key] = true
 		fmt.Fprintf(&b, "   %s %s: batch occupancy %s; per-send %s\n",
 			r.System, r.Leader, r.Batch, r.Send)
+		if r.Commit.PayloadBytes > 0 && r.Batch.Total > 0 {
+			fmt.Fprintf(&b, "   %s %s: commit channel %s (%.0f B/req)\n",
+				r.System, r.Leader, r.Commit,
+				float64(r.Commit.PayloadBytes)/float64(r.Batch.Total))
+		}
 	}
 	return b.String()
 }

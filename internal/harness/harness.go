@@ -86,6 +86,10 @@ type BuildOptions struct {
 	// Spider's agreement group (default: MAC vectors, the paper's
 	// optimisation; pbft.AuthSignatures restores the signed variant).
 	ConsensusAuth pbft.AuthMode
+	// CommitDedup selects whether Spider's commit channels substitute
+	// by-digest references for request content the destination group
+	// forwarded (default on; core.DedupOff for the ablation).
+	CommitDedup core.DedupMode
 }
 
 func (o *BuildOptions) applyDefaults() {
@@ -136,6 +140,10 @@ type Cluster struct {
 	BatchOcc *stats.Occupancy
 	SendOcc  *stats.Occupancy
 
+	// Commit aggregates the commit-channel byte and dedup counters of
+	// every Spider agreement and execution replica in the cluster.
+	Commit *core.CommitStats
+
 	// Baseline state.
 	globalGroup ids.Group                 // BFT / WV / Spider-0E
 	hftSites    []ids.Group               // HFT
@@ -159,6 +167,7 @@ func Build(opts BuildOptions) (*Cluster, error) {
 		groupOf:       make(map[topo.Region]ids.Group),
 		BatchOcc:      stats.NewOccupancy(),
 		SendOcc:       stats.NewOccupancy(),
+		Commit:        &core.CommitStats{},
 	}
 	c.Net = memnet.New(memnet.Options{
 		Placement:  c.Placement,
@@ -380,6 +389,8 @@ func (c *Cluster) buildSpider() error {
 			Tunables:         c.spiderTunables(),
 			ConsensusTimeout: 2 * time.Second,
 			ConsensusAuth:    c.Opts.ConsensusAuth,
+			CommitDedup:      c.Opts.CommitDedup,
+			CommitStats:      c.Commit,
 			BatchOccupancy:   c.BatchOcc,
 			SendOccupancy:    c.SendOcc,
 		})
@@ -416,6 +427,8 @@ func (c *Cluster) startExecGroup(g ids.Group, peers []ids.Group) error {
 			Node:           c.Net.Node(m),
 			App:            app.NewKVStore(),
 			Tunables:       c.spiderTunables(),
+			CommitDedup:    c.Opts.CommitDedup,
+			CommitStats:    c.Commit,
 		})
 		if err != nil {
 			return err
@@ -643,6 +656,14 @@ type Workload struct {
 	Warmup   time.Duration
 	// Kind selects writes, strong reads, or weak reads.
 	Kind core.RequestKind
+	// StrongReadFrac, in (0, 1], issues that fraction of each client's
+	// operations as strong reads instead of Kind. Strong reads are
+	// designated to the issuing client's own group, so a mixed
+	// multi-region workload makes every consensus batch
+	// per-group-divergent — the regime where commit-channel payload
+	// dedup pays off (each group's copy references the requests it
+	// forwarded; the rest arrive as placeholders or full content).
+	StrongReadFrac float64
 	// ValueSize is the write payload size (the paper uses 200 bytes).
 	ValueSize int
 }
@@ -735,7 +756,7 @@ func runClient(h *Handle, client *core.Client, region topo.Region, idx int, w Wo
 
 	// Seed one key so read workloads have data to fetch.
 	key := fmt.Sprintf("%s-%d", region, idx)
-	if w.Kind != core.KindWrite {
+	if w.Kind != core.KindWrite || w.StrongReadFrac > 0 {
 		if _, err := client.Write(app.EncodeOp(app.Op{Kind: app.OpPut, Key: key, Value: value})); err != nil {
 			return
 		}
@@ -748,8 +769,12 @@ func runClient(h *Handle, client *core.Client, region topo.Region, idx int, w Wo
 			return
 		default:
 		}
+		kind := w.Kind
+		if w.StrongReadFrac > 0 && rng.Float64() < w.StrongReadFrac {
+			kind = core.KindStrongRead
+		}
 		var op []byte
-		switch w.Kind {
+		switch kind {
 		case core.KindWrite:
 			op = app.EncodeOp(app.Op{Kind: app.OpPut, Key: key, Value: value})
 		default:
@@ -757,7 +782,7 @@ func runClient(h *Handle, client *core.Client, region topo.Region, idx int, w Wo
 		}
 		start := time.Now()
 		var err error
-		switch w.Kind {
+		switch kind {
 		case core.KindWrite:
 			_, err = client.Write(op)
 		case core.KindStrongRead:

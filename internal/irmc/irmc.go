@@ -98,6 +98,15 @@ type Config struct {
 	// Meter, when set, accumulates the processing time this endpoint
 	// spends handling messages and crypto (used for Figure 9c).
 	Meter *stats.CPUMeter
+	// SendBytes, when set on a sender endpoint, accumulates the
+	// data-plane bytes this endpoint ships across the wide area: Send
+	// envelopes times receivers for IRMC-RC, certificate envelopes for
+	// IRMC-SC (whose payload-bearing wide-area messages are the
+	// certificates; the sig-share exchange stays inside the co-located
+	// sender group). This is the byte accounting behind the
+	// commit-channel dedup figures. Control traffic (moves, progress,
+	// selects) is not counted.
+	SendBytes *stats.Counter
 	// ProgressIntervalMS is the IRMC-SC progress announcement period
 	// in milliseconds (0 = default).
 	ProgressIntervalMS int

@@ -92,6 +92,11 @@ func (s *Sender) Send(sc ids.Subchannel, p ids.Position, msg []byte) error {
 	if err != nil {
 		return err
 	}
+	if s.cfg.SendBytes != nil {
+		// RC ships the full envelope to every receiver — the wide-area
+		// cost Figure 9 charges this implementation for.
+		s.cfg.SendBytes.Add(int64(len(env)) * int64(len(s.cfg.Receivers.Members)))
+	}
 	s.cfg.Node.Multicast(s.cfg.Receivers.Members, s.cfg.Stream, env)
 	return nil
 }

@@ -289,6 +289,12 @@ func (s *Sender) sendCert(cert *irmc.CertificateMsg, targets []ids.NodeID) {
 	envs := irmc.SealAll(s.cfg.Suite, irmc.TagCertificate, frame, targets)
 	stop()
 	for _, se := range envs {
+		if s.cfg.SendBytes != nil {
+			// Certificates are SC's payload-bearing wide-area messages;
+			// the sig-share exchange stays within the co-located sender
+			// group and is not charged here.
+			s.cfg.SendBytes.Add(int64(len(se.Env)))
+		}
 		s.cfg.Node.Send(se.To, s.cfg.Stream, se.Env)
 	}
 }

@@ -198,6 +198,37 @@ func (r *Recorder) TimeSeries(start time.Time, width time.Duration) []Bucket {
 	return out
 }
 
+// LogGate rate-limits repeated log emission for recurring anomaly
+// classes: the first event always passes, later ones pass at most once
+// per interval, so a second storm of the same anomaly hours later is
+// still reported (unlike a sync.Once) without a line per occurrence.
+// Safe for concurrent use.
+type LogGate struct {
+	mu    sync.Mutex
+	last  time.Time
+	every time.Duration
+}
+
+// NewLogGate returns a gate that opens at most once per interval.
+func NewLogGate(every time.Duration) *LogGate {
+	return &LogGate{every: every}
+}
+
+// Allow reports whether the caller may log now, consuming the gate's
+// slot if so.
+func (g *LogGate) Allow() bool { return g.AllowAt(time.Now()) }
+
+// AllowAt is Allow with an injected clock, for tests.
+func (g *LogGate) AllowAt(now time.Time) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.last.IsZero() && now.Sub(g.last) < g.every {
+		return false
+	}
+	g.last = now
+	return true
+}
+
 // Counter is a concurrent event counter.
 type Counter struct {
 	n atomic.Int64

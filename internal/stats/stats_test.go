@@ -186,3 +186,29 @@ func TestOccupancyPercentiles(t *testing.T) {
 		t.Fatalf("clamped summary = %+v", s)
 	}
 }
+
+// TestLogGate: the first event always passes, later ones at most once
+// per interval — so a second anomaly storm long after the first is
+// still reported, unlike with a sync.Once.
+func TestLogGate(t *testing.T) {
+	g := NewLogGate(time.Minute)
+	base := time.Unix(1000, 0)
+	if !g.AllowAt(base) {
+		t.Fatal("first event blocked")
+	}
+	if g.AllowAt(base.Add(time.Second)) {
+		t.Fatal("event inside the interval passed")
+	}
+	if g.AllowAt(base.Add(59 * time.Second)) {
+		t.Fatal("event just inside the interval passed")
+	}
+	if !g.AllowAt(base.Add(time.Minute)) {
+		t.Fatal("storm after the interval blocked")
+	}
+	if g.AllowAt(base.Add(time.Minute + time.Second)) {
+		t.Fatal("gate did not re-arm after opening")
+	}
+	if !g.Allow() {
+		t.Fatal("wall-clock Allow blocked (last grant is in 1970)")
+	}
+}

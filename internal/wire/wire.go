@@ -292,6 +292,12 @@ func (r *Reader) fail(what string) {
 	}
 }
 
+// Poison marks the reader as failed with the given reason: subsequent
+// reads return zero values and Close reports the failure. Decoders call
+// it to reject structurally invalid claims — oversized counts, unknown
+// frame kinds — since UnmarshalWire has no error return of its own.
+func (r *Reader) Poison(reason string) { r.fail(reason) }
+
 // ReadUvarint consumes an unsigned varint.
 func (r *Reader) ReadUvarint() uint64 {
 	if r.err != nil {

@@ -78,6 +78,10 @@ type (
 	Region = topo.Region
 	// Summary carries the latency percentiles reported by Recorder.
 	Summary = stats.Summary
+
+	// CommitStats aggregates commit-channel byte and payload-dedup
+	// counters across the replicas it is shared with.
+	CommitStats = core.CommitStats
 )
 
 // Admin operation kinds.
@@ -90,6 +94,12 @@ const (
 const (
 	ChannelRC = core.ChannelRC
 	ChannelSC = core.ChannelSC
+)
+
+// Commit-channel payload-dedup modes.
+const (
+	DedupOn  = core.DedupOn
+	DedupOff = core.DedupOff
 )
 
 // Regions of the built-in latency model (calibrated to EC2).
