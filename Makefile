@@ -3,10 +3,12 @@
 GO ?= go
 
 ## BENCH_PATTERN: the benchmark set snapshots record — the agreement
-## throughput suite, the zero-allocation micro paths, and the
+## throughput suite, the zero-allocation micro paths, the
 ## commit-channel dedup byte metrics (commit-B/req and wire-B/req on a
-## strong-read-heavy workload, with dedup on and off).
-BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle|CommitDedup
+## strong-read-heavy workload, with dedup on and off), and the
+## keyspace-shard sweep (S=1/2/4 end-to-end write latency; S=1 is the
+## unsharded baseline).
+BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle|CommitDedup|ShardSweep
 
 .PHONY: check build vet test race fuzz-seeds bench bench-snapshot bench-compare tidy
 
@@ -24,9 +26,11 @@ vet:
 test:
 	$(GO) test ./...
 
-## race: the concurrency-sensitive packages under the race detector.
+## race: the concurrency-sensitive packages under the race detector
+## (harness included: sharded clusters aggregate per-shard stats while
+## workload goroutines write them).
 race:
-	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/...
+	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/... ./internal/harness/
 
 ## fuzz-seeds: run the wire-codec fuzz targets over their seed corpus
 ## only (no fuzzing engine) — fast enough for every CI run.

@@ -461,7 +461,7 @@ func benchCommitDedup(b *testing.B, dedup core.DedupMode) {
 		}
 		clients = append(clients, client)
 	}
-	cluster.Commit.Reset()
+	cluster.ResetStats()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -470,7 +470,7 @@ func benchCommitDedup(b *testing.B, dedup core.DedupMode) {
 		}
 	}
 	elapsed := time.Since(start)
-	s := cluster.Commit.Summarize()
+	s := cluster.CommitSummary()
 	b.ReportMetric(float64(s.PayloadBytes)/float64(b.N), "commit-B/req")
 	b.ReportMetric(float64(s.WireBytes)/float64(b.N), "wire-B/req")
 	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
@@ -585,3 +585,37 @@ func BenchmarkMicroEndToEndWrite(b *testing.B) {
 		}
 	}
 }
+
+// benchShardSweep is BenchmarkMicroEndToEndWrite over a keyspace-
+// sharded cluster: identical workload and key distribution, S
+// independent agreement sessions. The S=1 row is the unsharded
+// baseline (byte-for-byte the same wiring); on a single CPU the
+// sharded rows must stay within ~10% of it — sharding buys multicore
+// scale-out, not single-core speedups.
+func benchShardSweep(b *testing.B, shards int) {
+	cluster, err := harness.Build(harness.BuildOptions{
+		System:    harness.SystemSpider,
+		Regions:   []topo.Region{topo.Virginia},
+		Scale:     0.001,
+		SuiteKind: crypto.SuiteInsecure,
+		Shards:    shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Stop()
+	client, err := cluster.NewClient(topo.Virginia)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Write(spider.PutOp(fmt.Sprintf("k%d", i%64), []byte("v"))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardSweepS1(b *testing.B) { benchShardSweep(b, 1) }
+func BenchmarkShardSweepS2(b *testing.B) { benchShardSweep(b, 2) }
+func BenchmarkShardSweepS4(b *testing.B) { benchShardSweep(b, 4) }

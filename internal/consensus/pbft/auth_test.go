@@ -218,6 +218,106 @@ func TestMACModeViewChange(t *testing.T) {
 	}
 }
 
+// TestMACViewChangeQuorumShortfall is the regression companion to
+// TestMACViewChangeAdoptsPreparedEntry: the replica prepares a batch
+// under MAC votes and is pushed into a view change, but the peers
+// WITHHOLD their signed re-votes, so the proof-upgrade round can never
+// make the prepared proof transferable. The bounded hold in
+// maybeEmitViewChangeLocked must expire (curTimeout/8, capped at
+// 250ms) and the view-change message must go out WITHOUT the
+// non-transferable entry — len(Prepared) == 0 — instead of stalling
+// the view change on proofs that will never arrive.
+func TestMACViewChangeQuorumShortfall(t *testing.T) {
+	members := []ids.NodeID{1, 2, 3, 4}
+	group := ids.Group{ID: 1, Members: members, F: 1}
+	suites := crypto.NewSuites(members, crypto.SuiteInsecure)
+	net := memnet.New(memnet.Options{})
+	defer net.Close()
+
+	col := &collector{}
+	r, err := New(Config{
+		Group:   group,
+		Suite:   suites[2], // leader of view 1
+		Node:    net.Node(2),
+		Stream:  testStream,
+		Deliver: col.deliver,
+		// 2s timeout: the timer tick (timeout/8 = 250ms) re-runs
+		// maybeEmitViewChangeLocked right after the capped 250ms hold
+		// expires, while the view-change deadline (2x timeout after
+		// the backoff doubling) stays far away.
+		BatchSize:      1,
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var ownVCs []*viewChange
+	net.Node(3).Handle(testStream, func(from ids.NodeID, payload []byte) {
+		var raw signedRaw
+		if err := wire.Decode(payload, &raw); err != nil {
+			return
+		}
+		tag, msg, err := registry.DecodeFrame(raw.Frame)
+		if err != nil {
+			return
+		}
+		if tag == tagViewChange {
+			mu.Lock()
+			ownVCs = append(ownVCs, msg.(*viewChange))
+			mu.Unlock()
+		}
+	})
+	r.Start()
+	defer r.Stop()
+
+	payload := []byte("mac-prepared-unprovable-batch")
+	digest := batchDigest([][]byte{payload})
+	send := func(from ids.NodeID, env []byte) { net.Node(from).Send(2, testStream, env) }
+
+	// View 0: the entry prepares under MAC votes (not transferable).
+	send(1, sealFrom(suites[1], tagPrePrepare, &prePrepare{View: 0, Seq: 1, Payloads: [][]byte{payload}}))
+	send(3, macFrom(suites[3], members, tagPrepare, &prepare{View: 0, Seq: 1, Digest: digest}))
+	send(4, macFrom(suites[4], members, tagPrepare, &prepare{View: 0, Seq: 1, Digest: digest}))
+	waitState(t, r, "entry prepared under MACs", func() bool {
+		e, ok := r.log[1]
+		return ok && e.prepared && !e.committed
+	})
+
+	// Push into the view change — but never send the signed re-votes
+	// the proof upgrade waits for.
+	start := time.Now()
+	send(3, sealFrom(suites[3], tagViewChange, &viewChange{NewView: 1}))
+	send(4, sealFrom(suites[4], tagViewChange, &viewChange{NewView: 1}))
+
+	// With 2f+1 proof-less view changes (peers' plus its own) the
+	// replica, leader of view 1, completes the view change.
+	waitState(t, r, "view 1 adopted despite withheld re-votes", func() bool {
+		return r.view == 1 && !r.inVC
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("view change took %v; hold apparently not bounded", elapsed)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ownVCs) == 0 {
+		t.Fatal("replica never emitted its view-change message")
+	}
+	for _, vc := range ownVCs {
+		if vc.NewView != 1 {
+			t.Fatalf("view change targets view %d, want 1", vc.NewView)
+		}
+		// The quorum-shortfall path: the MAC-prepared entry has no
+		// transferable proof, so it must be omitted — not shipped with
+		// MAC votes, and not hold the message back forever.
+		if len(vc.Prepared) != 0 {
+			t.Fatalf("view change carried %d prepared proofs despite withheld re-votes", len(vc.Prepared))
+		}
+	}
+}
+
 // waitState polls a replica-state predicate under the lock.
 func waitState(t *testing.T, r *Replica, what string, cond func() bool) {
 	t.Helper()

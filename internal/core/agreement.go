@@ -207,7 +207,7 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 		Group:    cfg.Group,
 		Suite:    cfg.Suite,
 		Node:     cfg.Node,
-		Stream:   checkpointStream(),
+		Stream:   checkpointStream(cfg.Shard),
 		OnStable: a.onStableCheckpoint,
 	})
 	if err != nil {

@@ -118,7 +118,7 @@ func NewExecutionReplica(cfg ExecutionConfig) (*ExecutionReplica, error) {
 		Group:    cfg.Group,
 		Suite:    cfg.Suite,
 		Node:     cfg.Node,
-		Stream:   checkpointStream(),
+		Stream:   checkpointStream(cfg.Shard),
 		OnStable: e.onStableCheckpoint,
 	})
 	if err != nil {
@@ -195,12 +195,34 @@ func (e *ExecutionReplica) onClientFrame(from ids.NodeID, payload []byte) {
 	if req.Client.Node() != from {
 		return // requests must come from their author
 	}
+	if req.Kind != KindAdmin && !e.ownsKey(req.Op) {
+		// Keyspace-sharded routing check: this operation's key belongs
+		// to a different shard's session. Correct clients never send
+		// it here; dropping it keeps a faulty client from planting a
+		// key in a foreign shard's partition (admin operations are
+		// unkeyed and exempt).
+		return
+	}
 	switch req.Kind {
 	case KindWeakRead:
 		e.serveWeakRead(req)
 	case KindWrite, KindStrongRead, KindAdmin:
 		e.acceptRequest(req)
 	}
+}
+
+// ownsKey reports whether an operation's key routes to this replica's
+// shard. Single-shard deployments own every key; unkeyed operations
+// route to shard 0.
+func (e *ExecutionReplica) ownsKey(op []byte) bool {
+	if e.cfg.ShardMap.Shards <= 1 {
+		return true
+	}
+	shard := ShardID(0)
+	if key, ok := e.cfg.KeyOf(op); ok {
+		shard = e.cfg.ShardMap.Of(key)
+	}
+	return shard == e.cfg.Shard
 }
 
 // serveWeakRead answers immediately from local state (Section 3.3):

@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"fmt"
+	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -206,6 +209,114 @@ func TestStrongReadPlaceholders(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatal("write after strong read did not reach all groups")
+}
+
+// TestShardedPerKeyLinearizability is a multi-shard history checker:
+// several clients concurrently increment counter keys spread over both
+// shards of a sharded deployment, and the recorded histories must be
+// per-key linearizable. OpInc returns the post-increment value, so
+// linearizability of a key is exactly: (1) across all clients, the
+// returned counters for that key form the set {1..N} with no gaps or
+// duplicates; (2) each client observes its own operations on the key
+// in strictly increasing order (session order); (3) every replica of
+// the owning shard converges to N. The partitions are disjoint, so
+// per-key linearizability of every key is linearizability of the
+// sharded store as a whole.
+func TestShardedPerKeyLinearizability(t *testing.T) {
+	const (
+		shards     = 2
+		numClients = 3
+		opsPer     = 8
+	)
+	d := newShardedDeployment(t, shards, 1, testTunables(), 101, 102, 103)
+	d.start()
+	m := ShardMap{Shards: shards}
+
+	// Two counter keys per shard.
+	var keys []string
+	for s := 0; s < shards; s++ {
+		keys = append(keys,
+			keyForShard(m, ShardID(s), fmt.Sprintf("lin-a%d", s)),
+			keyForShard(m, ShardID(s), fmt.Sprintf("lin-b%d", s)))
+	}
+
+	type obs struct {
+		client  int
+		key     string
+		counter int64
+	}
+	var (
+		mu      sync.Mutex
+		history []obs
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, numClients)
+	for ci := 0; ci < numClients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			client := d.client(ids.ClientID(101 + ci))
+			for i := 0; i < opsPer; i++ {
+				key := keys[(ci+i)%len(keys)]
+				res, err := client.Write(incOp(key, 1))
+				if err != nil {
+					errs <- fmt.Errorf("client %d inc %d: %w", ci, i, err)
+					return
+				}
+				r := decodeResult(t, res)
+				mu.Lock()
+				history = append(history, obs{client: ci, key: key, counter: r.Counter})
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// (1) + (2): per-key counter sets are dense and session order holds.
+	perKey := make(map[string][]int64)
+	perClientKey := make(map[string]int64) // "client/key" -> last counter
+	for _, o := range history {
+		perKey[o.key] = append(perKey[o.key], o.counter)
+		ck := fmt.Sprintf("%d/%s", o.client, o.key)
+		if last, ok := perClientKey[ck]; ok && o.counter <= last {
+			t.Fatalf("client %d saw key %q counters out of session order: %d after %d",
+				o.client, o.key, o.counter, last)
+		}
+		perClientKey[ck] = o.counter
+	}
+	for key, counters := range perKey {
+		sorted := append([]int64(nil), counters...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, c := range sorted {
+			if c != int64(i+1) {
+				t.Fatalf("key %q counters not the dense set 1..%d: %v (duplicate or lost increment)",
+					key, len(sorted), sorted)
+			}
+		}
+	}
+
+	// (3): every replica of each key's owning shard converges to the
+	// key's total count.
+	deadline := time.Now().Add(10 * time.Second)
+	for key, counters := range perKey {
+		want := int64(len(counters))
+		g := ShardGroup(d.execBases[0], m.Of(key))
+		for _, member := range g.Members {
+			for {
+				if d.readShard(g.ID, member, getOp(key)).Counter == want {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("key %q: replica %v never converged to %d", key, member, want)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
 }
 
 // TestClientSwitchGroup: a client whose group becomes unavailable

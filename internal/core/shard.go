@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+
+	"spider/internal/ids"
+)
+
+// Keyspace-sharded parallel agreement.
+//
+// A sharded deployment runs S independent Spider sessions side by
+// side: shard s has its own agreement group (PBFT instance, AG-WIN
+// window, checkpoint stream) and, per region, its own execution group
+// (request/commit subchannels, reply cache, dedup cache). Sessions
+// share nothing but the physical nodes and the crypto pipeline — every
+// group of shard s derives its protocol streams from a shard-qualified
+// GroupID, so the per-group stream derivation in config.go separates
+// the sessions for free. Clients hash each operation's key onto a
+// shard and talk to that shard's execution group; execution replicas
+// re-check the routing at forward time, so a faulty client cannot
+// plant a key in a foreign shard's partition. Shard 0 of an S=1
+// deployment uses exactly today's group ids and streams, making the
+// single-shard configuration byte-for-byte the unsharded system.
+
+// ShardID indexes one agreement session of a sharded deployment.
+// Single-shard deployments use shard 0 everywhere.
+type ShardID int
+
+// MaxShards bounds the shard count: agreement groups of shard s use
+// GroupID 1+s and execution groups use base+s with bases spaced 10
+// apart, so up to 8 shards never collide with any group id.
+const MaxShards = 8
+
+// ShardMap deterministically partitions the keyspace across shards by
+// FNV-1a hash. The zero value (and Shards <= 1) maps every key to
+// shard 0, which is the unsharded behavior.
+type ShardMap struct {
+	Shards int
+}
+
+// FNV-1a parameters (64 bit).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Of returns the shard owning key.
+func (m ShardMap) Of(key string) ShardID {
+	if m.Shards <= 1 {
+		return 0
+	}
+	h := fnvOffset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return ShardID(h % uint64(m.Shards))
+}
+
+// ShardGroup returns shard s's variant of a base (shard 0) group: the
+// same members and fault threshold under the shard-qualified GroupID.
+// All protocol streams derive from the GroupID, so the returned group
+// runs a fully independent session over the same nodes. ShardGroup of
+// shard 0 is the base group itself.
+func ShardGroup(base ids.Group, s ShardID) ids.Group {
+	g := base.Clone()
+	g.ID += ids.GroupID(s)
+	return g
+}
+
+// ShardSeq names one committed batch position in the global history of
+// a sharded deployment: the shard that agreed on it and its sequence
+// number within that shard's session.
+type ShardSeq struct {
+	Shard ShardID
+	Seq   ids.SeqNr
+}
+
+// MergeOrder is the deterministic merge rule for cross-shard
+// histories: entries are interleaved by sequence number, ties broken
+// by shard id, i.e. sorted by (Seq, Shard). Shards partition the
+// keyspace, so no key's operations ever span two shards and any
+// interleaving that preserves each shard's delivery order is
+// linearizable per key; this particular rule is a pure function of the
+// entries, so every observer derives the same global order without
+// coordination. Per-shard order is preserved because sequence numbers
+// within one shard are distinct and increasing.
+func MergeOrder(entries []ShardSeq) []ShardSeq {
+	out := append([]ShardSeq(nil), entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}

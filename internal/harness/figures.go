@@ -130,9 +130,9 @@ func runLatency(p RunProfile, system System, label string, kind core.RequestKind
 	if err != nil {
 		return nil, fmt.Errorf("%s workload: %w", system, err)
 	}
-	batch := cluster.BatchOcc.Summarize()
-	send := cluster.SendOcc.Summarize()
-	commit := cluster.Commit.Summarize()
+	batch := cluster.BatchOccSummary()
+	send := cluster.SendOccSummary()
+	commit := cluster.CommitSummary()
 	var rows []LatencyRow
 	for _, region := range cluster.Opts.Regions {
 		rows = append(rows, LatencyRow{

@@ -90,9 +90,19 @@ type BuildOptions struct {
 	// by-digest references for request content the destination group
 	// forwarded (default on; core.DedupOff for the ablation).
 	CommitDedup core.DedupMode
+	// Shards runs S independent Spider agreement sessions over a
+	// partitioned keyspace (default 1; Spider and Spider-1E only).
+	// Shard s reuses the same physical nodes under shard-qualified
+	// group ids, so no extra identities are provisioned; clients route
+	// each operation by key hash. Shards: 1 is byte-for-byte the
+	// unsharded system.
+	Shards int
 }
 
 func (o *BuildOptions) applyDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if len(o.Regions) == 0 {
 		o.Regions = append([]topo.Region{}, topo.EvalRegions...)
 	}
@@ -133,16 +143,14 @@ type Cluster struct {
 	admin           *core.Client
 	execReplicas    []*core.ExecutionReplica
 
-	// Batch-occupancy recorders shared by all Spider agreement
-	// replicas: requests per proposed consensus batch and per
-	// commit-channel Send. Underfilled batches are a first-order
-	// throughput signal now that the whole data plane is batched.
-	BatchOcc *stats.Occupancy
-	SendOcc  *stats.Occupancy
-
-	// Commit aggregates the commit-channel byte and dedup counters of
-	// every Spider agreement and execution replica in the cluster.
-	Commit *core.CommitStats
+	// Per-shard occupancy recorders and commit-channel counters: shard
+	// s's Spider replicas record only into index s, so each event is
+	// charged to exactly one recorder and read-time aggregation (the
+	// accessor methods below) counts it exactly once. A single-shard
+	// deployment has one entry each.
+	batchOcc []*stats.Occupancy
+	sendOcc  []*stats.Occupancy
+	commit   []*core.CommitStats
 
 	// Baseline state.
 	globalGroup ids.Group                 // BFT / WV / Spider-0E
@@ -165,9 +173,17 @@ func Build(opts BuildOptions) (*Cluster, error) {
 		spiderPending: make(map[topo.Region]ids.Group),
 		hftSiteOf:     make(map[topo.Region]int),
 		groupOf:       make(map[topo.Region]ids.Group),
-		BatchOcc:      stats.NewOccupancy(),
-		SendOcc:       stats.NewOccupancy(),
-		Commit:        &core.CommitStats{},
+	}
+	if opts.Shards > core.MaxShards {
+		return nil, fmt.Errorf("harness: %d shards exceed the maximum of %d", opts.Shards, core.MaxShards)
+	}
+	if opts.Shards > 1 && opts.System != SystemSpider && opts.System != SystemSpider1E {
+		return nil, fmt.Errorf("harness: system %q does not support sharding", opts.System)
+	}
+	for s := 0; s < opts.Shards; s++ {
+		c.batchOcc = append(c.batchOcc, stats.NewOccupancy())
+		c.sendOcc = append(c.sendOcc, stats.NewOccupancy())
+		c.commit = append(c.commit, &core.CommitStats{})
 	}
 	c.Net = memnet.New(memnet.Options{
 		Placement:  c.Placement,
@@ -204,6 +220,51 @@ func Build(opts BuildOptions) (*Cluster, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// BatchOccSummary aggregates the per-shard batch-occupancy recorders
+// (requests per proposed consensus batch): each shard's observations
+// are merged exactly once at read time.
+func (c *Cluster) BatchOccSummary() stats.OccupancySummary {
+	return mergeOccupancy(c.batchOcc)
+}
+
+// SendOccSummary aggregates the per-shard commit-channel Send
+// occupancy recorders.
+func (c *Cluster) SendOccSummary() stats.OccupancySummary {
+	return mergeOccupancy(c.sendOcc)
+}
+
+func mergeOccupancy(shards []*stats.Occupancy) stats.OccupancySummary {
+	agg := stats.NewOccupancy()
+	for _, o := range shards {
+		agg.Merge(o)
+	}
+	return agg.Summarize()
+}
+
+// CommitSummary aggregates the per-shard commit-channel byte and
+// dedup counters of every Spider agreement and execution replica.
+func (c *Cluster) CommitSummary() core.CommitSummary {
+	var sum core.CommitSummary
+	for _, cs := range c.commit {
+		sum = sum.Add(cs.Summarize())
+	}
+	return sum
+}
+
+// ResetStats zeroes every shard's occupancy recorders and commit
+// counters (benchmarks reset after warmup).
+func (c *Cluster) ResetStats() {
+	for _, o := range c.batchOcc {
+		o.Reset()
+	}
+	for _, o := range c.sendOcc {
+		o.Reset()
+	}
+	for _, cs := range c.commit {
+		cs.Reset()
+	}
 }
 
 // Stop shuts everything down.
@@ -371,38 +432,55 @@ func (c *Cluster) spiderTunables() core.Tunables {
 	}
 }
 
+// shardMap returns the deployment's keyspace partition.
+func (c *Cluster) shardMap() core.ShardMap {
+	return core.ShardMap{Shards: c.Opts.Shards}
+}
+
+// buildSpider deploys one complete Spider session per shard: shard s
+// reuses the same agreement and execution nodes under shard-qualified
+// group ids (agreement 1+s, execution base+s), so every session gets
+// its own PBFT instance, IRMC lanes, flow-control windows and
+// checkpoint stream while sharing the crypto pipeline and transport.
+// With Shards: 1 the loop degenerates to exactly the unsharded build.
 func (c *Cluster) buildSpider() error {
-	var entries []core.GroupEntry
-	var peerList []ids.Group
-	for r, g := range c.spiderGroups {
-		entries = append(entries, core.GroupEntry{Group: g, Region: string(r)})
-		peerList = append(peerList, g)
-	}
 	c.adminID = ids.ClientID(10001 + maxClients - 1) // reserve the last client id
-	for _, m := range c.spiderAgreement.Members {
-		ar, err := core.NewAgreementReplica(core.AgreementConfig{
-			Group:            c.spiderAgreement,
-			ExecGroups:       entries,
-			AdminClients:     []ids.ClientID{c.adminID},
-			Suite:            c.suites[m],
-			Node:             c.Net.Node(m),
-			Tunables:         c.spiderTunables(),
-			ConsensusTimeout: 2 * time.Second,
-			ConsensusAuth:    c.Opts.ConsensusAuth,
-			CommitDedup:      c.Opts.CommitDedup,
-			CommitStats:      c.Commit,
-			BatchOccupancy:   c.BatchOcc,
-			SendOccupancy:    c.SendOcc,
-		})
-		if err != nil {
-			return err
+	for s := 0; s < c.Opts.Shards; s++ {
+		shard := core.ShardID(s)
+		agGroup := core.ShardGroup(c.spiderAgreement, shard)
+		var entries []core.GroupEntry
+		var peerList []ids.Group
+		for r, g := range c.spiderGroups {
+			sg := core.ShardGroup(g, shard)
+			entries = append(entries, core.GroupEntry{Group: sg, Region: string(r)})
+			peerList = append(peerList, sg)
 		}
-		ar.Start()
-		c.stops = append(c.stops, ar.Stop)
-	}
-	for _, g := range c.spiderGroups {
-		if err := c.startExecGroup(g, peerList); err != nil {
-			return err
+		for _, m := range agGroup.Members {
+			ar, err := core.NewAgreementReplica(core.AgreementConfig{
+				Group:            agGroup,
+				ExecGroups:       entries,
+				AdminClients:     []ids.ClientID{c.adminID},
+				Suite:            c.suites[m],
+				Node:             c.Net.Node(m),
+				Tunables:         c.spiderTunables(),
+				ConsensusTimeout: 2 * time.Second,
+				ConsensusAuth:    c.Opts.ConsensusAuth,
+				CommitDedup:      c.Opts.CommitDedup,
+				CommitStats:      c.commit[s],
+				BatchOccupancy:   c.batchOcc[s],
+				SendOccupancy:    c.sendOcc[s],
+				Shard:            shard,
+			})
+			if err != nil {
+				return err
+			}
+			ar.Start()
+			c.stops = append(c.stops, ar.Stop)
+		}
+		for _, g := range c.spiderGroups {
+			if err := c.startExecGroup(core.ShardGroup(g, shard), peerList, shard); err != nil {
+				return err
+			}
 		}
 	}
 	for r, g := range c.spiderGroups {
@@ -411,24 +489,28 @@ func (c *Cluster) buildSpider() error {
 	return nil
 }
 
-func (c *Cluster) startExecGroup(g ids.Group, peers []ids.Group) error {
+func (c *Cluster) startExecGroup(g ids.Group, peers []ids.Group, shard core.ShardID) error {
 	var peerGroups []ids.Group
 	for _, p := range peers {
 		if p.ID != g.ID {
 			peerGroups = append(peerGroups, p)
 		}
 	}
+	agGroup := core.ShardGroup(c.spiderAgreement, shard)
 	for _, m := range g.Members {
 		er, err := core.NewExecutionReplica(core.ExecutionConfig{
 			Group:          g,
-			AgreementGroup: c.spiderAgreement,
+			AgreementGroup: agGroup,
 			PeerGroups:     peerGroups,
 			Suite:          c.suites[m],
 			Node:           c.Net.Node(m),
 			App:            app.NewKVStore(),
 			Tunables:       c.spiderTunables(),
 			CommitDedup:    c.Opts.CommitDedup,
-			CommitStats:    c.Commit,
+			CommitStats:    c.commit[shard],
+			Shard:          shard,
+			ShardMap:       c.shardMap(),
+			KeyOf:          app.OpKey,
 		})
 		if err != nil {
 			return err
@@ -563,7 +645,7 @@ func (c *Cluster) NewClient(region topo.Region) (*core.Client, error) {
 	c.mu.Unlock()
 	c.Placement.Place(id.Node(), topo.Site{Region: region, Zone: int(id) % 3})
 
-	client, err := core.NewClient(core.ClientConfig{
+	cfg := core.ClientConfig{
 		ID:             id,
 		Group:          group,
 		AgreementGroup: c.spiderAgreement,
@@ -571,7 +653,18 @@ func (c *Cluster) NewClient(region topo.Region) (*core.Client, error) {
 		Node:           c.Net.Node(id.Node()),
 		Retry:          2 * time.Second,
 		Deadline:       60 * time.Second,
-	})
+	}
+	if c.Opts.Shards > 1 {
+		// One client edge over S sessions: route each operation to the
+		// shard group owning its key (the shard variants of the
+		// client's contact group share its members and region).
+		for s := 0; s < c.Opts.Shards; s++ {
+			cfg.ShardGroups = append(cfg.ShardGroups, core.ShardGroup(group, core.ShardID(s)))
+		}
+		cfg.ShardMap = c.shardMap()
+		cfg.KeyOf = app.OpKey
+	}
+	client, err := core.NewClient(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -602,12 +695,15 @@ func (c *Cluster) AddRegion(region topo.Region) error {
 	}
 	delete(c.spiderPending, region)
 
-	var peers []ids.Group
-	for _, existing := range c.spiderGroups {
-		peers = append(peers, existing)
-	}
-	if err := c.startExecGroup(g, peers); err != nil {
-		return err
+	for s := 0; s < c.Opts.Shards; s++ {
+		shard := core.ShardID(s)
+		var peers []ids.Group
+		for _, existing := range c.spiderGroups {
+			peers = append(peers, core.ShardGroup(existing, shard))
+		}
+		if err := c.startExecGroup(core.ShardGroup(g, shard), peers, shard); err != nil {
+			return err
+		}
 	}
 	if c.admin == nil {
 		c.Placement.Place(c.adminID.Node(), topo.Site{Region: c.Opts.AgreementRegion, Zone: 0})
@@ -630,13 +726,25 @@ func (c *Cluster) AddRegion(region topo.Region) error {
 		}
 		c.admin = admin
 	}
-	if err := c.admin.Admin(core.AdminOp{
-		Kind:   core.AdminAddGroup,
-		Group:  g,
-		Region: string(region),
-	}); err != nil {
-		return err
+	// Reconfigure every shard session: the admin client keeps one
+	// counter sequence across the S sessions (counter jumps are the
+	// documented multi-session semantics), switching its contact group
+	// to each shard's variant before addressing that shard.
+	adminHome := c.admin.Group()
+	for s := 0; s < c.Opts.Shards; s++ {
+		shard := core.ShardID(s)
+		c.admin.SwitchGroup(core.ShardGroup(adminHome, shard))
+		err := c.admin.Admin(core.AdminOp{
+			Kind:   core.AdminAddGroup,
+			Group:  core.ShardGroup(g, shard),
+			Region: string(region),
+		})
+		if err != nil {
+			c.admin.SwitchGroup(adminHome)
+			return err
+		}
 	}
+	c.admin.SwitchGroup(adminHome)
 	c.spiderGroups[region] = g
 	c.groupOf[region] = g
 	return nil
@@ -666,7 +774,18 @@ type Workload struct {
 	StrongReadFrac float64
 	// ValueSize is the write payload size (the paper uses 200 bytes).
 	ValueSize int
+	// KeySkew > 0 draws each operation's key from a Zipf distribution
+	// with exponent 1+KeySkew over a shared key universe instead of
+	// the per-client fixed key, so shard imbalance under hot keys is
+	// generatable and measurable (larger skew concentrates load on
+	// fewer keys, hence fewer shards). 0 keeps the current uniform
+	// per-client key behavior.
+	KeySkew float64
 }
+
+// skewKeyUniverse is the shared key universe a skewed workload draws
+// from; ~1k keys spread over all shards of any supported shard count.
+const skewKeyUniverse = 1024
 
 func (w *Workload) applyDefaults() {
 	if w.ClientsPerRegion <= 0 {
@@ -761,6 +880,13 @@ func runClient(h *Handle, client *core.Client, region topo.Region, idx int, w Wo
 			return
 		}
 	}
+	// Skewed workloads draw each operation's key from a shared Zipf'd
+	// universe; key 0 is the hottest, so high skew funnels most
+	// operations onto a handful of keys (and thus shards).
+	var zipf *rand.Zipf
+	if w.KeySkew > 0 {
+		zipf = rand.NewZipf(rng, 1+w.KeySkew, 1, skewKeyUniverse-1)
+	}
 
 	seq := 0
 	for time.Now().Before(deadline) {
@@ -773,12 +899,16 @@ func runClient(h *Handle, client *core.Client, region topo.Region, idx int, w Wo
 		if w.StrongReadFrac > 0 && rng.Float64() < w.StrongReadFrac {
 			kind = core.KindStrongRead
 		}
+		opKey := key
+		if zipf != nil {
+			opKey = fmt.Sprintf("zipf-%04d", zipf.Uint64())
+		}
 		var op []byte
 		switch kind {
 		case core.KindWrite:
-			op = app.EncodeOp(app.Op{Kind: app.OpPut, Key: key, Value: value})
+			op = app.EncodeOp(app.Op{Kind: app.OpPut, Key: opKey, Value: value})
 		default:
-			op = app.EncodeOp(app.Op{Kind: app.OpGet, Key: key})
+			op = app.EncodeOp(app.Op{Kind: app.OpGet, Key: opKey})
 		}
 		start := time.Now()
 		var err error

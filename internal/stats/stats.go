@@ -340,6 +340,33 @@ func (o *Occupancy) Summarize() OccupancySummary {
 	}
 }
 
+// Merge folds all of src's observations into o. Each observation is
+// copied exactly once per call, so aggregating per-shard recorders at
+// read time cannot double count events the way sharing one recorder
+// across sessions could.
+func (o *Occupancy) Merge(src *Occupancy) {
+	src.mu.Lock()
+	freq := make(map[int]int64, len(src.freq))
+	for v, n := range src.freq {
+		freq[v] = n
+	}
+	obs, sum := src.obs, src.sum
+	src.mu.Unlock()
+	if obs == 0 {
+		return
+	}
+	o.mu.Lock()
+	if o.freq == nil {
+		o.freq = make(map[int]int64, len(freq))
+	}
+	for v, n := range freq {
+		o.freq[v] += n
+	}
+	o.obs += obs
+	o.sum += sum
+	o.mu.Unlock()
+}
+
 // Reset discards all observations.
 func (o *Occupancy) Reset() {
 	o.mu.Lock()

@@ -187,6 +187,55 @@ func TestOccupancyPercentiles(t *testing.T) {
 	}
 }
 
+// TestOccupancyMerge: merging per-shard recorders folds every
+// observation in exactly once and leaves the source untouched, so
+// read-time aggregation cannot double count.
+func TestOccupancyMerge(t *testing.T) {
+	a := NewOccupancy()
+	b := NewOccupancy()
+	for i := 0; i < 10; i++ {
+		a.Record(2)
+	}
+	for i := 0; i < 5; i++ {
+		b.Record(4)
+	}
+
+	agg := NewOccupancy()
+	agg.Merge(a)
+	agg.Merge(b)
+	s := agg.Summarize()
+	if s.Count != 15 || s.Total != 10*2+5*4 {
+		t.Fatalf("merged summary = %+v, want count 15 total 40", s)
+	}
+	if s.Max != 4 || s.P50 != 2 {
+		t.Fatalf("merged percentiles = %+v", s)
+	}
+
+	// Sources are unchanged: a second aggregation sees the same data.
+	if sa := a.Summarize(); sa.Count != 10 || sa.Total != 20 {
+		t.Fatalf("source mutated by merge: %+v", sa)
+	}
+	agg2 := NewOccupancy()
+	agg2.Merge(a)
+	agg2.Merge(b)
+	if s2 := agg2.Summarize(); s2 != s {
+		t.Fatalf("re-aggregation differs: %+v vs %+v", s2, s)
+	}
+
+	// Merging an empty recorder is a no-op, including into an empty
+	// aggregate (no spurious zero-count buckets).
+	empty := NewOccupancy()
+	agg.Merge(empty)
+	if s3 := agg.Summarize(); s3 != s {
+		t.Fatalf("empty merge changed aggregate: %+v", s3)
+	}
+	fresh := NewOccupancy()
+	fresh.Merge(empty)
+	if s4 := fresh.Summarize(); s4.Count != 0 {
+		t.Fatalf("empty-into-empty merge = %+v", s4)
+	}
+}
+
 // TestLogGate: the first event always passes, later ones at most once
 // per interval — so a second anomaly storm long after the first is
 // still reported, unlike with a sync.Once.

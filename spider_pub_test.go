@@ -1,6 +1,7 @@
 package spider_test
 
 import (
+	"fmt"
 	"testing"
 
 	"spider"
@@ -91,5 +92,45 @@ func TestPublicAPI(t *testing.T) {
 	}
 	if summary.Count != 3 {
 		t.Fatalf("summary = %+v", summary)
+	}
+}
+
+// TestPublicAPISharded deploys a two-shard cluster through the facade:
+// writes route transparently to the shard sessions owning their keys,
+// and reads observe them regardless of shard.
+func TestPublicAPISharded(t *testing.T) {
+	cluster, err := spider.NewLocalCluster(spider.LocalClusterOptions{
+		Regions:      []spider.Region{spider.Virginia},
+		LatencyScale: 0.02,
+		Shards:       2,
+	})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	defer cluster.Stop()
+
+	client, err := cluster.NewClient(spider.Virginia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := spider.ShardMap{Shards: 2}
+	seen := make(map[spider.ShardID]bool)
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("pub-shard-%d", i)
+		seen[m.Of(key)] = true
+		if _, err := client.Write(spider.PutOp(key, []byte("v"))); err != nil {
+			t.Fatalf("write %q: %v", key, err)
+		}
+		got, err := client.WeakRead(spider.GetOp(key))
+		if err != nil {
+			t.Fatalf("read %q: %v", key, err)
+		}
+		res, err := spider.DecodeKVResult(got)
+		if err != nil || !res.Found || string(res.Value) != "v" {
+			t.Fatalf("read %q = %+v (%v)", key, res, err)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("8 keys hit %d shards, want 2", len(seen))
 	}
 }
