@@ -10,7 +10,7 @@ GO ?= go
 ## unsharded baseline).
 BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle|CommitDedup|ShardSweep
 
-.PHONY: check build vet test race fuzz-seeds bench bench-snapshot bench-compare tidy
+.PHONY: check build vet test race fuzz-seeds soak soak-smoke bench bench-snapshot bench-compare tidy
 
 ## check: what CI runs — build, vet, full test suite, and the
 ## concurrency-sensitive packages under the race detector (the MAC
@@ -31,6 +31,21 @@ test:
 ## workload goroutines write them).
 race:
 	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/... ./internal/harness/
+
+## soak: the chaos scenario matrix — crash/restart, partition-and-heal,
+## leader churn — under the race detector, with the continuous
+## invariant checks (no divergent replies, no stalled commit
+## subchannel, per-key linearizability). Failing runs drop a JSON
+## artifact (seed + event timeline + violations) under
+## internal/chaos/chaos-artifacts/ for replay. Scheduled CI runs this;
+## it is deliberately not part of `make check`.
+soak:
+	$(GO) test -race -count=1 -timeout 30m -v -run 'TestChaos|TestPartitionHeal|TestWarmRestart' ./internal/chaos/
+
+## soak-smoke: the same scenario matrix once, without the race
+## detector — fast enough to run on every push.
+soak-smoke:
+	$(GO) test -count=1 -timeout 10m -run 'TestChaos|TestPartitionHeal|TestWarmRestart' ./internal/chaos/
 
 ## fuzz-seeds: run the wire-codec fuzz targets over their seed corpus
 ## only (no fuzzing engine) — fast enough for every CI run.

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spider/internal/crypto"
@@ -188,6 +189,10 @@ type Component struct {
 
 	// Pending fetch floor: state below this is known missing.
 	wantSeq ids.SeqNr
+
+	// fetches counts Fetch invocations (including gossip retries); a
+	// warm restart from disk must leave it at zero.
+	fetches atomic.Int64
 }
 
 type voteAnn struct {
@@ -284,6 +289,13 @@ func (c *Component) Generate(seq ids.SeqNr, state []byte) {
 	c.cfg.Node.Multicast(c.cfg.Group.Members, c.cfg.Stream, env)
 }
 
+// Fetches reports how many full-state fetches this component issued.
+// Restart paths use it to assert that rehydrating from disk avoided
+// the cold full-state transfer.
+func (c *Component) Fetches() int64 {
+	return c.fetches.Load()
+}
+
 // Fetch implements fetch_cp: ask the group (and registered peer
 // groups) for a stable checkpoint at or above seq.
 func (c *Component) Fetch(seq ids.SeqNr) {
@@ -292,6 +304,7 @@ func (c *Component) Fetch(seq ids.SeqNr) {
 		c.mu.Unlock()
 		return
 	}
+	c.fetches.Add(1)
 	if seq > c.wantSeq {
 		c.wantSeq = seq
 	}

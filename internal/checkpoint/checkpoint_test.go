@@ -265,6 +265,145 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
+// stableCertOf snapshots a component's latest stable checkpoint with
+// its certificate, for crafting fetch replies in error-path tests.
+func stableCertOf(c *Component) (ids.SeqNr, []byte, []signedAnnounce) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cert := make([]signedAnnounce, len(c.stableCert))
+	copy(cert, c.stableCert)
+	return c.stableSeq, append([]byte(nil), c.stableState...), cert
+}
+
+// TestFetchReplyTruncatedStateRejected: a fetch reply whose state was
+// truncated in flight no longer matches the certificate hash and must
+// be discarded; the genuine reply must still repair the replica.
+func TestFetchReplyTruncatedStateRejected(t *testing.T) {
+	fx := newFixture(t, 3, 1, time.Hour)
+	// Isolate replica 3 so it cannot repair itself from announcements;
+	// crafted replies below are injected directly.
+	fx.net.Isolate(3, true)
+	state := []byte("snapshot that must arrive intact")
+	fx.components[0].Generate(5, state)
+	fx.components[1].Generate(5, state)
+	fx.recs[0].waitFor(t, 5, 5*time.Second)
+	seq, full, cert := stableCertOf(fx.components[0])
+
+	fx.components[2].onFetchReply(&fetchReply{
+		Group: fx.group.ID, Seq: seq, State: full[:len(full)-1], Cert: cert,
+	})
+	if got := fx.components[2].StableSeq(); got != 0 {
+		t.Fatalf("truncated state adopted (stable seq %d)", got)
+	}
+
+	fx.components[2].onFetchReply(&fetchReply{
+		Group: fx.group.ID, Seq: seq, State: full, Cert: cert,
+	})
+	if got, s := fx.recs[2].last(); got != 5 || !bytes.Equal(s, state) {
+		t.Fatalf("genuine reply not adopted: seq=%d state=%q", got, s)
+	}
+}
+
+// TestFetchReplyDigestMismatchRejected: a flipped byte in the state
+// (same length) fails certificate verification.
+func TestFetchReplyDigestMismatchRejected(t *testing.T) {
+	fx := newFixture(t, 3, 1, time.Hour)
+	fx.net.Isolate(3, true)
+	state := []byte("bit flips must not go unnoticed")
+	fx.components[0].Generate(9, state)
+	fx.components[1].Generate(9, state)
+	fx.recs[0].waitFor(t, 9, 5*time.Second)
+	seq, full, cert := stableCertOf(fx.components[0])
+
+	tampered := append([]byte(nil), full...)
+	tampered[len(tampered)/2] ^= 0x01
+	fx.components[2].onFetchReply(&fetchReply{
+		Group: fx.group.ID, Seq: seq, State: tampered, Cert: cert,
+	})
+	if got := fx.components[2].StableSeq(); got != 0 {
+		t.Fatalf("tampered state adopted (stable seq %d)", got)
+	}
+}
+
+// TestFetchReplyShortCertRejected: fewer than F+1 distinct signers do
+// not certify a checkpoint, even when the state hash matches.
+func TestFetchReplyShortCertRejected(t *testing.T) {
+	fx := newFixture(t, 3, 1, time.Hour)
+	fx.net.Isolate(3, true)
+	state := []byte("one vote is not a quorum")
+	fx.components[0].Generate(3, state)
+	fx.components[1].Generate(3, state)
+	fx.recs[0].waitFor(t, 3, 5*time.Second)
+	seq, full, cert := stableCertOf(fx.components[0])
+	if len(cert) < 2 {
+		t.Fatalf("certificate has %d votes", len(cert))
+	}
+
+	// One genuine vote, plus that same vote duplicated: still one
+	// distinct signer.
+	fx.components[2].onFetchReply(&fetchReply{
+		Group: fx.group.ID, Seq: seq, State: full,
+		Cert: []signedAnnounce{cert[0], cert[0]},
+	})
+	if got := fx.components[2].StableSeq(); got != 0 {
+		t.Fatalf("under-certified checkpoint adopted (stable seq %d)", got)
+	}
+}
+
+// TestOutOfOrderAdoptionIgnored: once a replica holds a stable
+// checkpoint, a valid but older fetch reply must not roll it back or
+// re-fire OnStable.
+func TestOutOfOrderAdoptionIgnored(t *testing.T) {
+	fx := newFixture(t, 3, 1, time.Hour)
+	oldState := []byte("state at 10")
+	fx.components[0].Generate(10, oldState)
+	fx.components[1].Generate(10, oldState)
+	fx.recs[0].waitFor(t, 10, 5*time.Second)
+	oldSeq, oldFull, oldCert := stableCertOf(fx.components[0])
+
+	newState := []byte("state at 20")
+	fx.components[0].Generate(20, newState)
+	fx.components[1].Generate(20, newState)
+	fx.recs[0].waitFor(t, 20, 5*time.Second)
+
+	// Replica 3 repairs itself to 20 via explicit fetch.
+	fx.components[2].Fetch(20)
+	fx.recs[2].waitFor(t, 20, 5*time.Second)
+	fx.recs[2].mu.Lock()
+	delivered := len(fx.recs[2].seqs)
+	fx.recs[2].mu.Unlock()
+
+	// A stale (but correctly certified) reply for seq 10 arrives late.
+	fx.components[2].onFetchReply(&fetchReply{
+		Group: fx.group.ID, Seq: oldSeq, State: oldFull, Cert: oldCert,
+	})
+	if got := fx.components[2].StableSeq(); got != 20 {
+		t.Fatalf("stable seq rolled back to %d", got)
+	}
+	fx.recs[2].mu.Lock()
+	defer fx.recs[2].mu.Unlock()
+	if len(fx.recs[2].seqs) != delivered {
+		t.Fatalf("stale reply re-fired OnStable: %v", fx.recs[2].seqs)
+	}
+}
+
+// TestFetchCounter: Fetch invocations are counted (the warm-restart
+// acceptance check asserts this stays zero after rehydration).
+func TestFetchCounter(t *testing.T) {
+	fx := newFixture(t, 3, 1, time.Hour)
+	if got := fx.components[2].Fetches(); got != 0 {
+		t.Fatalf("initial fetch count = %d", got)
+	}
+	fx.components[2].Fetch(5)
+	fx.components[2].Fetch(6)
+	if got := fx.components[2].Fetches(); got != 2 {
+		t.Fatalf("fetch count = %d, want 2", got)
+	}
+	if got := fx.components[0].Fetches(); got != 0 {
+		t.Fatalf("bystander fetch count = %d", got)
+	}
+}
+
 func TestStopIdempotent(t *testing.T) {
 	fx := newFixture(t, 3, 1, 50*time.Millisecond)
 	fx.components[0].Stop()

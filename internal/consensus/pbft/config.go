@@ -161,6 +161,17 @@ type Config struct {
 	// the process-wide default pool (crypto.DefaultPipeline). Pass
 	// crypto.SerialPipeline() to force the old inline behavior.
 	Pipeline *crypto.Pipeline
+
+	// StartView seeds the replica's view on construction. A replica
+	// restarting from durable state passes its last installed view so
+	// it rejoins without re-running the view changes it already saw
+	// (it still catches further up via the status protocol).
+	StartView uint64
+	// OnViewInstall, when set, is invoked with every newly installed
+	// view (including implicit adoption via new-view catch-up). It runs
+	// with the replica lock held and must not block or call back into
+	// the replica; durability layers use it to persist the view.
+	OnViewInstall func(view uint64)
 }
 
 func (c *Config) applyDefaults() {

@@ -205,6 +205,7 @@ func New(cfg Config) (*Replica, error) {
 	r := &Replica{
 		cfg:          cfg,
 		me:           cfg.Suite.Node(),
+		view:         cfg.StartView,
 		nextSeq:      1,
 		nextDeliver:  1,
 		nextGlobal:   1,

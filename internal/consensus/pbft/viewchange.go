@@ -479,6 +479,9 @@ func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*pre
 	r.vcTarget = nv.View
 	r.vcSent = false
 	r.curTimeout = r.cfg.RequestTimeout
+	if r.cfg.OnViewInstall != nil {
+		r.cfg.OnViewInstall(nv.View)
+	}
 	// Copied because env may alias a transport receive buffer (tcpnet
 	// hands out arena-backed frame slices); retaining the alias would
 	// pin the whole arena chunk for the lifetime of the view.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"log"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"spider/internal/ids"
 	"spider/internal/irmc"
 	"spider/internal/stats"
+	"spider/internal/storage"
 	"spider/internal/wire"
 )
 
@@ -173,6 +175,15 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 	}
 	a.cond = sync.NewCond(&a.mu)
 
+	// Load any durable image first: the persisted PBFT view seeds the
+	// consensus instance, and checkpoint + suffix restore below.
+	var img *storage.Image
+	if cfg.Store != nil {
+		if loaded, err := cfg.Store.Load(); err == nil {
+			img = loaded
+		}
+	}
+
 	batch := cfg.ConsensusBatch
 	if batch <= 0 {
 		batch = 16
@@ -197,6 +208,17 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 		Pipeline:       cfg.Pipeline,
 		NormalCaseAuth: cfg.ConsensusAuth,
 	}
+	if img != nil && len(img.Meta) == 8 {
+		pbftCfg.StartView = binary.BigEndian.Uint64(img.Meta)
+	}
+	if st := cfg.Store; st != nil {
+		pbftCfg.OnViewInstall = func(view uint64) {
+			// Runs under the PBFT lock; SaveMeta is write-behind.
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], view)
+			st.SaveMeta(buf[:])
+		}
+	}
 	agreement, err := pbft.New(pbftCfg)
 	if err != nil {
 		return nil, err
@@ -220,7 +242,100 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 			return nil, err
 		}
 	}
+	if img != nil {
+		a.rehydrate(img)
+	}
 	return a, nil
+}
+
+// rehydrate restores the replica from its write-behind store: adopt
+// the newest local agreement checkpoint, then replay the contiguous
+// batch-history suffix (including any admin reconfigurations it
+// carries). Damage degrades to a cold start; the checkpoint gossip
+// repairs the remainder. Resumed batches are NOT resent through the
+// commit channels — the surviving agreement replicas did that while
+// this one was down, and a restart must not disturb their windows.
+func (a *AgreementReplica) rehydrate(img *storage.Image) {
+	a.mu.Lock()
+	if img.Seq > 0 {
+		var snap agreementSnapshot
+		if wire.Decode(img.State, &snap) != nil || snap.Seq != ids.SeqNr(img.Seq) {
+			a.mu.Unlock()
+			return
+		}
+		a.reconcileGroupsLocked(snap.Groups)
+		a.sn = snap.Seq
+		a.lastPos = snap.NextPos - 1
+		if snap.T != nil {
+			a.t = snap.T
+		}
+		for c, v := range a.t {
+			if v+1 > a.tplus[c] {
+				a.tplus[c] = v + 1
+			}
+		}
+		a.hist = make(map[ids.Position]histEntry, len(snap.Hist))
+		for _, he := range snap.Hist {
+			a.hist[he.Pos] = he
+		}
+		a.winLo = snap.Seq + 1
+		a.winHi = snap.Seq + ids.SeqNr(a.cfg.Tunables.AgreementWindow)
+	}
+	for i := range img.Suffix {
+		ent := &img.Suffix[i]
+		pos := ids.Position(ent.Pos)
+		if pos <= a.lastPos {
+			continue // covered by the checkpoint
+		}
+		if pos != a.lastPos+1 {
+			break // gap: write-behind dropped an append
+		}
+		var he histEntry
+		if wire.Decode(ent.Payload, &he) != nil || he.Pos != pos {
+			break
+		}
+		for j := range he.Reqs {
+			req := &he.Reqs[j].Req
+			if !req.Client.Valid() {
+				continue
+			}
+			if req.Counter > a.t[req.Client] {
+				a.t[req.Client] = req.Counter
+			}
+			if req.Counter+1 > a.tplus[req.Client] {
+				a.tplus[req.Client] = req.Counter + 1
+			}
+			if req.Kind == KindAdmin {
+				a.applyAdminLocked(pos, req.Op)
+			}
+		}
+		a.hist[pos] = he
+		a.lastPos = pos
+		if end := he.end(); end > a.sn {
+			a.sn = end
+		}
+	}
+	a.pruneHistLocked()
+	// Anchor every commit channel after the oldest remembered batch,
+	// exactly as a stable-checkpoint install does: older positions were
+	// garbage collected before the crash and can never be resent.
+	moveTo := a.lastPos + 1
+	for pos := range a.hist {
+		if pos < moveTo {
+			moveTo = pos
+		}
+	}
+	if moveTo > 1 {
+		for _, g := range a.groups {
+			g.commitSend.MoveWindow(0, moveTo)
+		}
+	}
+	a.mu.Unlock()
+	// Prime the checkpoint component so gossiped announcements for the
+	// restored checkpoint resolve locally instead of fetching.
+	if img.Seq > 0 {
+		a.cp.Generate(ids.SeqNr(img.Seq), img.State)
+	}
 }
 
 // Start launches consensus and the registry handler.
@@ -255,6 +370,28 @@ func (a *AgreementReplica) Stop() {
 	a.ag.Stop()
 	a.cp.Stop()
 	a.wg.Wait()
+	if a.cfg.Store != nil {
+		_ = a.cfg.Store.Close()
+	}
+}
+
+// ConsensusLeader reports the current consensus view's leader, when
+// the consensus implementation exposes one (PBFT does). Chaos
+// harnesses use it to aim leader-kill events.
+func (a *AgreementReplica) ConsensusLeader() (ids.NodeID, bool) {
+	if l, ok := a.ag.(interface{ Leader() ids.NodeID }); ok {
+		return l.Leader(), true
+	}
+	return 0, false
+}
+
+// ConsensusView reports the current consensus view number, when the
+// consensus implementation exposes one.
+func (a *AgreementReplica) ConsensusView() (uint64, bool) {
+	if v, ok := a.ag.(interface{ View() uint64 }); ok {
+		return v.View(), true
+	}
+	return 0, false
 }
 
 // UndecodablePayloads reports how many ordered payloads failed to
@@ -330,7 +467,10 @@ func (a *AgreementReplica) attachGroupLocked(entry GroupEntry) error {
 		SendBytes:          wireBytes,
 		ProgressIntervalMS: a.cfg.Tunables.ChannelProgressMS,
 		CollectorTimeoutMS: a.cfg.Tunables.ChannelCollectorMS,
-		Pipeline:           a.cfg.Pipeline,
+		// Commit channels carry committed batches the execution side has
+		// no other way to obtain; RC repairs window loss via resend.
+		Resend:   true,
+		Pipeline: a.cfg.Pipeline,
 	})
 	if err != nil {
 		reqRecv.Close()
@@ -575,6 +715,12 @@ func (a *AgreementReplica) deliver(b consensus.Batch) {
 	he := histEntry{Pos: pos, Start: b.Start, Reqs: reqs, Digests: digests}
 	a.hist[pos] = he
 	a.lastPos = pos
+	if a.cfg.Store != nil {
+		// Write-behind: the history entry is the replay unit. Calls
+		// under the lock keep the append/checkpoint queue order
+		// consistent with state mutation order.
+		a.cfg.Store.Append(uint64(pos), wire.Encode(&he))
+	}
 	prev := a.sn
 	if end > a.sn {
 		a.sn = end
@@ -593,6 +739,9 @@ func (a *AgreementReplica) deliver(b consensus.Batch) {
 	var snap []byte
 	if ckptDue {
 		snap = a.snapshotLocked()
+		if a.cfg.Store != nil {
+			a.cfg.Store.SaveCheckpoint(uint64(end), snap)
+		}
 	}
 	a.mu.Unlock()
 
@@ -813,6 +962,11 @@ func (a *AgreementReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
 	if a.stopped {
 		a.mu.Unlock()
 		return
+	}
+	if a.cfg.Store != nil && seq >= a.sn {
+		// Persist adopted checkpoints too: a replica repaired via
+		// Fetch must restart warm from the fetched state.
+		a.cfg.Store.SaveCheckpoint(uint64(seq), state)
 	}
 	// Move every commit channel's window (line 45): positions below the
 	// oldest batch in the checkpoint's history can no longer be resent.

@@ -12,6 +12,7 @@ import (
 	"spider/internal/irmc/rc"
 	"spider/internal/irmc/sc"
 	"spider/internal/stats"
+	"spider/internal/storage"
 	"spider/internal/transport"
 )
 
@@ -203,6 +204,11 @@ type ExecutionConfig struct {
 	// unkeyed payloads, which route to shard 0). Required when
 	// ShardMap has more than one shard.
 	KeyOf func(op []byte) (string, bool)
+	// Store, when set, persists execution checkpoints and the
+	// post-checkpoint batch suffix write-behind, and rehydrates the
+	// replica from disk at construction instead of a cold full-state
+	// Fetch. The replica takes ownership and closes it on Stop.
+	Store storage.Store
 }
 
 // Application is re-exported so the public API does not leak internal
@@ -308,6 +314,11 @@ type AgreementConfig struct {
 	// from the shard-qualified Group.ID. The zero value matches
 	// unsharded behavior exactly.
 	Shard ShardID
+	// Store, when set, persists agreement checkpoints, the batch
+	// history suffix and the installed PBFT view write-behind, and
+	// rehydrates the replica from disk at construction. The replica
+	// takes ownership and closes it on Stop.
+	Store storage.Store
 }
 
 func (c *AgreementConfig) validate() error {

@@ -53,6 +53,11 @@ type ExecutionReplica struct {
 	pipe  *crypto.Pipeline
 	lanes map[ids.ClientID]*crypto.Lane // guarded by mu
 
+	// replaying suppresses client replies while the disk suffix is
+	// re-executed during rehydration (the replies were already sent
+	// before the crash; the cache still filters duplicates).
+	replaying bool
+
 	stopped bool
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -108,7 +113,10 @@ func NewExecutionReplica(cfg ExecutionConfig) (*ExecutionReplica, error) {
 		Meter:              cfg.Meter,
 		ProgressIntervalMS: cfg.Tunables.ChannelProgressMS,
 		CollectorTimeoutMS: cfg.Tunables.ChannelCollectorMS,
-		Pipeline:           cfg.Pipeline,
+		// Commit channels carry committed batches the execution side has
+		// no other way to obtain; RC repairs window loss via resend.
+		Resend:   true,
+		Pipeline: cfg.Pipeline,
 	})
 	if err != nil {
 		e.reqSender.Close()
@@ -129,7 +137,81 @@ func NewExecutionReplica(cfg ExecutionConfig) (*ExecutionReplica, error) {
 	for _, g := range cfg.PeerGroups {
 		e.cp.AddFetchPeers(g)
 	}
+	if cfg.Store != nil {
+		e.rehydrate()
+	}
 	return e, nil
+}
+
+// rehydrate restores the replica from its write-behind store: adopt
+// the newest local checkpoint, then replay the post-checkpoint batch
+// suffix without re-serving replies. Any damage — missing image,
+// corrupt snapshot, truncated or gapped suffix — degrades to a cold
+// start; the ordinary checkpoint Fetch path repairs the remainder.
+func (e *ExecutionReplica) rehydrate() {
+	img, err := e.cfg.Store.Load()
+	if err != nil || img == nil {
+		return
+	}
+	e.mu.Lock()
+	if img.Seq > 0 {
+		var snap execSnapshot
+		if wire.Decode(img.State, &snap) != nil || snap.Seq != ids.SeqNr(img.Seq) ||
+			e.cfg.App.Restore(snap.App) != nil {
+			e.mu.Unlock()
+			return
+		}
+		if snap.Replies != nil {
+			e.replies = snap.Replies
+		}
+		for c, r := range e.replies {
+			if r.Counter > e.t[c] {
+				e.t[c] = r.Counter
+			}
+		}
+		e.sn = snap.Seq
+		if snap.NextPos > e.pos {
+			e.pos = snap.NextPos
+		}
+	}
+	// Replay the contiguous suffix; stop at the first gap or
+	// undecodable record (write-behind may have dropped appends).
+	e.replaying = true
+	for i := range img.Suffix {
+		ent := &img.Suffix[i]
+		if ids.Position(ent.Pos) < e.pos {
+			continue // covered by the checkpoint
+		}
+		if ids.Position(ent.Pos) != e.pos {
+			break
+		}
+		var em ExecuteBatchMsg
+		if wire.Decode(ent.Payload, &em) != nil || em.Start > e.sn+1 {
+			break
+		}
+		prev := e.sn
+		for j := range em.Items {
+			if em.Start+ids.SeqNr(j) <= prev {
+				continue
+			}
+			e.executeItemLocked(&em.Items[j])
+		}
+		if end := em.End(); end > e.sn {
+			e.sn = end
+		}
+		e.pos++
+	}
+	e.replaying = false
+	// Let the commit channel garbage-collect below the restored
+	// position right away.
+	e.commitRecv.MoveWindow(0, e.pos)
+	e.mu.Unlock()
+	// Prime the checkpoint component with the restored snapshot so a
+	// gossiped announcement for the same sequence number resolves
+	// locally instead of triggering a full-state fetch.
+	if img.Seq > 0 {
+		e.cp.Generate(ids.SeqNr(img.Seq), img.State)
+	}
 }
 
 // Start launches the main execution loop and registers the client
@@ -159,6 +241,9 @@ func (e *ExecutionReplica) Stop() {
 	e.commitRecv.Close()
 	e.cp.Stop()
 	e.wg.Wait()
+	if e.cfg.Store != nil {
+		_ = e.cfg.Store.Close()
+	}
 }
 
 // Seq returns the latest executed sequence number.
@@ -166,6 +251,20 @@ func (e *ExecutionReplica) Seq() ids.SeqNr {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.sn
+}
+
+// FetchCalls reports how many full-state checkpoint fetches this
+// replica issued; a warm restart from disk leaves it at zero.
+func (e *ExecutionReplica) FetchCalls() int64 { return e.cp.Fetches() }
+
+// SnapshotInfo returns the latest executed sequence number together
+// with a digest of the application state, for cross-replica
+// divergence probes: two replicas of one group at the same sequence
+// number must report the same digest.
+func (e *ExecutionReplica) SnapshotInfo() (ids.SeqNr, crypto.Digest) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sn, crypto.Hash(e.cfg.App.Snapshot())
 }
 
 // AddPeerGroup registers another execution group as a checkpoint
@@ -247,13 +346,30 @@ func (e *ExecutionReplica) acceptRequest(req *ClientRequest) {
 	}
 	if req.Counter <= e.t[req.Client] {
 		// Old or retried request: answer from the reply cache if the
-		// result exists; stay silent while it is still in flight.
+		// result exists.
 		cached, ok := e.replies[req.Client]
+		executed := ok && cached.Counter >= req.Counter
+		// A retry of the counter we last forwarded that has NOT been
+		// executed yet is re-admitted below: the original forward is a
+		// single unreliable multicast on the request channel, so if it
+		// raced a partition or an agreement-side restart it is gone and
+		// only the client's retry can put it back. Staying silent here
+		// would wedge the client forever. (Re-forwarding is idempotent:
+		// the channel receiver keeps one submission per sender per
+		// position.)
+		retry := req.Counter == e.t[req.Client] && !executed
 		e.mu.Unlock()
 		if ok && cached.Counter == req.Counter && !cached.Placeholder {
 			e.sendReply(req.Client, req.Counter, cached.Result)
 		}
-		return
+		if !retry {
+			return
+		}
+		e.mu.Lock()
+		if e.stopped {
+			e.mu.Unlock()
+			return
+		}
 	}
 	lane, ok := e.lanes[req.Client]
 	if !ok {
@@ -278,12 +394,21 @@ func (e *ExecutionReplica) acceptRequest(req *ClientRequest) {
 	})
 }
 
-// admitVerified forwards a request whose signature already checked out.
+// admitVerified forwards a request whose signature already checked
+// out. A counter equal to the last forwarded one is admitted again —
+// that is a client retry of a forward that may have been lost (see
+// acceptRequest); re-encoding the identical signed request yields the
+// identical bytes, so the re-forward matches the original submission
+// at the channel receivers.
 func (e *ExecutionReplica) admitVerified(req *ClientRequest) {
 	e.mu.Lock()
-	if e.stopped || req.Counter <= e.t[req.Client] {
+	if e.stopped || req.Counter < e.t[req.Client] {
 		e.mu.Unlock()
 		return
+	}
+	if cached, ok := e.replies[req.Client]; ok && cached.Counter >= req.Counter {
+		e.mu.Unlock()
+		return // executed while the retry was being verified
 	}
 	e.t[req.Client] = req.Counter
 	fwd, ok := e.forwarders[req.Client]
@@ -474,6 +599,13 @@ func (e *ExecutionReplica) mainLoop() {
 			e.sn = end
 		}
 		e.pos = pos + 1
+		if e.cfg.Store != nil {
+			// Write-behind: the resolved (reference-free) batch is the
+			// replay unit; a restart re-executes it from here. Calls
+			// under the lock keep the append/checkpoint queue order
+			// consistent with state mutation order.
+			e.cfg.Store.Append(uint64(pos), wire.Encode(&em))
+		}
 		// Execution checkpoints fire when a batch crosses a ke
 		// boundary; batch ends are identical at all replicas, so the
 		// group still snapshots at matching sequence numbers.
@@ -483,6 +615,9 @@ func (e *ExecutionReplica) mainLoop() {
 		var snap []byte
 		if ckptDue {
 			snap = e.snapshotLocked()
+			if e.cfg.Store != nil {
+				e.cfg.Store.SaveCheckpoint(uint64(snapSeq), snap)
+			}
 		}
 		e.mu.Unlock()
 
@@ -591,7 +726,7 @@ func (e *ExecutionReplica) executeItemLocked(item *ExecuteItem) {
 	if req.Counter > e.t[req.Client] {
 		e.t[req.Client] = req.Counter
 	}
-	if item.Req.Group == e.cfg.Group.ID {
+	if item.Req.Group == e.cfg.Group.ID && !e.replaying {
 		// Only the client's own group answers (line 37).
 		e.sendReply(req.Client, req.Counter, result)
 	}
@@ -621,6 +756,11 @@ func (e *ExecutionReplica) onStableCheckpoint(seq ids.SeqNr, state []byte) {
 	defer e.mu.Unlock()
 	if e.stopped {
 		return
+	}
+	if e.cfg.Store != nil && seq >= e.sn {
+		// Persist adopted checkpoints too: a replica repaired via
+		// Fetch must restart warm from the fetched state.
+		e.cfg.Store.SaveCheckpoint(uint64(seq), state)
 	}
 	// Permit commit-channel garbage collection up to the checkpoint
 	// (window moves are in batch positions and only ever advance).

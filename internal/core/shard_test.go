@@ -168,7 +168,7 @@ type shardedDeployment struct {
 	execBases []ids.Group
 	suites    map[ids.NodeID]crypto.Suite
 
-	agreement [][]*AgreementReplica              // [shard][member]
+	agreement [][]*AgreementReplica               // [shard][member]
 	execution map[ids.GroupID][]*ExecutionReplica // keyed by shard-qualified group id
 	apps      map[ids.GroupID]map[ids.NodeID]*app.KVStore
 }

@@ -68,6 +68,7 @@ const (
 	DomainHFTLocal                          // HFT site-local protocol
 	DomainHFTGlobal                         // HFT global protocol (threshold shares)
 	DomainAdmin                             // reconfiguration commands
+	DomainIRMCResend                        // IRMC-RC resend requests (window-loss repair)
 )
 
 // Errors returned by verification.

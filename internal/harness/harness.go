@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/stats"
+	"spider/internal/storage"
 	"spider/internal/topo"
 	"spider/internal/transport/memnet"
 )
@@ -97,6 +99,12 @@ type BuildOptions struct {
 	// each operation by key hash. Shards: 1 is byte-for-byte the
 	// unsharded system.
 	Shards int
+	// StateDir, when set, gives every Spider replica a write-behind
+	// persistent store under <StateDir>/n<node>-s<shard>-<kind>, so a
+	// replica crashed with CrashNode and brought back with RestartNode
+	// rehydrates from its on-disk checkpoint and log suffix instead of
+	// cold-starting into a full state fetch.
+	StateDir string
 }
 
 func (o *BuildOptions) applyDefaults() {
@@ -141,7 +149,8 @@ type Cluster struct {
 	spiderPending   map[topo.Region]ids.Group // provisioned, not yet added
 	adminID         ids.ClientID
 	admin           *core.Client
-	execReplicas    []*core.ExecutionReplica
+	records         []*replicaRecord
+	byNode          map[ids.NodeID][]*replicaRecord
 
 	// Per-shard occupancy recorders and commit-channel counters: shard
 	// s's Spider replicas record only into index s, so each event is
@@ -161,6 +170,30 @@ type Cluster struct {
 	stops []func()
 }
 
+// Replica kinds tracked by replicaRecord.
+const (
+	kindExec  = "exec"
+	kindAgree = "agree"
+)
+
+// replicaRecord tracks one Spider replica instance — everything needed
+// to rebuild it in place after a crash. Baseline systems keep the old
+// stop-closure lifecycle; only Spider replicas are crash-restartable.
+type replicaRecord struct {
+	node    ids.NodeID
+	shard   core.ShardID
+	kind    string      // kindExec or kindAgree
+	group   ids.Group   // shard-qualified group the replica serves
+	peers   []ids.Group // exec: the other groups' shard variants
+	entries []core.GroupEntry
+	region  topo.Region
+	dir     string // persistent state dir ("" without StateDir)
+
+	running bool
+	exec    *core.ExecutionReplica
+	agree   *core.AgreementReplica
+}
+
 // Build deploys the selected system onto a fresh emulated WAN.
 func Build(opts BuildOptions) (*Cluster, error) {
 	opts.applyDefaults()
@@ -171,6 +204,7 @@ func Build(opts BuildOptions) (*Cluster, error) {
 		clientsOf:     make(map[topo.Region][]*core.Client),
 		spiderGroups:  make(map[topo.Region]ids.Group),
 		spiderPending: make(map[topo.Region]ids.Group),
+		byNode:        make(map[ids.NodeID][]*replicaRecord),
 		hftSiteOf:     make(map[topo.Region]int),
 		groupOf:       make(map[topo.Region]ids.Group),
 	}
@@ -273,7 +307,174 @@ func (c *Cluster) Stop() {
 		c.stops[i]()
 	}
 	c.stops = nil
+	c.mu.Lock()
+	recs := c.records
+	c.records = nil
+	c.mu.Unlock()
+	for i := len(recs) - 1; i >= 0; i-- {
+		stopRecord(recs[i])
+	}
 	c.Net.Close()
+}
+
+func stopRecord(rec *replicaRecord) {
+	if rec.exec != nil {
+		rec.exec.Stop()
+		rec.exec = nil
+	}
+	if rec.agree != nil {
+		rec.agree.Stop()
+		rec.agree = nil
+	}
+	rec.running = false
+}
+
+// --- chaos control surface ----------------------------------------------------
+
+// CrashNode fail-stops every Spider replica hosted on the node: the
+// node is cut off from the network (in-flight frames addressed to it
+// vanish, as with a real process crash) and each instance is stopped,
+// which flushes and closes its persistent store. Only Spider replicas
+// built through records are crashable.
+func (c *Cluster) CrashNode(id ids.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs := c.byNode[id]
+	if len(recs) == 0 {
+		return fmt.Errorf("harness: node %d hosts no crashable replicas", id)
+	}
+	c.Net.Isolate(id, true)
+	for _, rec := range recs {
+		if rec.running {
+			stopRecord(rec)
+		}
+	}
+	return nil
+}
+
+// RestartNode rebuilds every crashed replica on the node from its
+// persistent store (when StateDir is set) and reconnects the node. The
+// replicas register their handlers before the isolation lifts, so no
+// frame races the restart.
+func (c *Cluster) RestartNode(id ids.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs := c.byNode[id]
+	if len(recs) == 0 {
+		return fmt.Errorf("harness: node %d hosts no restartable replicas", id)
+	}
+	for _, rec := range recs {
+		if rec.running {
+			continue
+		}
+		if err := c.startRecord(rec); err != nil {
+			return err
+		}
+	}
+	c.Net.Isolate(id, false)
+	return nil
+}
+
+// ExecProbe is one execution replica's divergence probe: two probes of
+// the same group and shard at the same sequence number must carry the
+// same digest.
+type ExecProbe struct {
+	Node   ids.NodeID
+	Group  ids.GroupID
+	Shard  core.ShardID
+	Region topo.Region
+	Seq    ids.SeqNr
+	Digest crypto.Digest
+}
+
+// ExecProbes samples every running execution replica.
+func (c *Cluster) ExecProbes() []ExecProbe {
+	c.mu.Lock()
+	var live []*replicaRecord
+	for _, rec := range c.records {
+		if rec.kind == kindExec && rec.running && rec.exec != nil {
+			live = append(live, rec)
+		}
+	}
+	c.mu.Unlock()
+	out := make([]ExecProbe, 0, len(live))
+	for _, rec := range live {
+		seq, dig := rec.exec.SnapshotInfo()
+		out = append(out, ExecProbe{
+			Node:   rec.node,
+			Group:  rec.group.ID,
+			Shard:  rec.shard,
+			Region: rec.region,
+			Seq:    seq,
+			Digest: dig,
+		})
+	}
+	return out
+}
+
+// AgreementLeader reports the consensus leader of the (shard 0)
+// agreement group as seen by the running replica with the highest
+// installed view — the freshest opinion available during churn.
+func (c *Cluster) AgreementLeader() (ids.NodeID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var leader ids.NodeID
+	bestView := uint64(0)
+	found := false
+	for _, rec := range c.records {
+		if rec.kind != kindAgree || !rec.running || rec.agree == nil || rec.shard != 0 {
+			continue
+		}
+		id, ok := rec.agree.ConsensusLeader()
+		if !ok {
+			continue
+		}
+		view, _ := rec.agree.ConsensusView()
+		if !found || view > bestView {
+			leader, bestView, found = id, view, true
+		}
+	}
+	return leader, found
+}
+
+// FetchCalls reports how many full-state checkpoint fetches the node's
+// execution replicas have issued since their last (re)start. A warm
+// restart from disk must keep this at zero.
+func (c *Cluster) FetchCalls(id ids.NodeID) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, rec := range c.byNode[id] {
+		if rec.exec != nil {
+			total += rec.exec.FetchCalls()
+		}
+	}
+	return total
+}
+
+// ExecNodes returns the nodes hosting the region's execution group.
+func (c *Cluster) ExecNodes(region topo.Region) []ids.NodeID {
+	g, ok := c.spiderGroups[region]
+	if !ok {
+		return nil
+	}
+	return append([]ids.NodeID{}, g.Members...)
+}
+
+// AgreementNodes returns the agreement group's nodes, leader first.
+func (c *Cluster) AgreementNodes() []ids.NodeID {
+	return append([]ids.NodeID{}, c.spiderAgreement.Members...)
+}
+
+// PartitionRegions splits the emulated WAN so the named regions can
+// only talk among themselves.
+func (c *Cluster) PartitionRegions(regions ...topo.Region) {
+	c.Net.Partition(regions...)
+}
+
+// HealPartition removes the active partition.
+func (c *Cluster) HealPartition() {
+	c.Net.Heal()
 }
 
 // --- identity planning ------------------------------------------------------
@@ -456,29 +657,20 @@ func (c *Cluster) buildSpider() error {
 			peerList = append(peerList, sg)
 		}
 		for _, m := range agGroup.Members {
-			ar, err := core.NewAgreementReplica(core.AgreementConfig{
-				Group:            agGroup,
-				ExecGroups:       entries,
-				AdminClients:     []ids.ClientID{c.adminID},
-				Suite:            c.suites[m],
-				Node:             c.Net.Node(m),
-				Tunables:         c.spiderTunables(),
-				ConsensusTimeout: 2 * time.Second,
-				ConsensusAuth:    c.Opts.ConsensusAuth,
-				CommitDedup:      c.Opts.CommitDedup,
-				CommitStats:      c.commit[s],
-				BatchOccupancy:   c.batchOcc[s],
-				SendOccupancy:    c.sendOcc[s],
-				Shard:            shard,
-			})
-			if err != nil {
+			rec := &replicaRecord{
+				node:    m,
+				shard:   shard,
+				kind:    kindAgree,
+				group:   agGroup,
+				entries: entries,
+				region:  c.Opts.AgreementRegion,
+			}
+			if err := c.addRecord(rec); err != nil {
 				return err
 			}
-			ar.Start()
-			c.stops = append(c.stops, ar.Stop)
 		}
-		for _, g := range c.spiderGroups {
-			if err := c.startExecGroup(core.ShardGroup(g, shard), peerList, shard); err != nil {
+		for r, g := range c.spiderGroups {
+			if err := c.startExecGroup(core.ShardGroup(g, shard), peerList, shard, r); err != nil {
 				return err
 			}
 		}
@@ -489,36 +681,112 @@ func (c *Cluster) buildSpider() error {
 	return nil
 }
 
-func (c *Cluster) startExecGroup(g ids.Group, peers []ids.Group, shard core.ShardID) error {
+func (c *Cluster) startExecGroup(g ids.Group, peers []ids.Group, shard core.ShardID, region topo.Region) error {
 	var peerGroups []ids.Group
 	for _, p := range peers {
 		if p.ID != g.ID {
 			peerGroups = append(peerGroups, p)
 		}
 	}
-	agGroup := core.ShardGroup(c.spiderAgreement, shard)
 	for _, m := range g.Members {
+		rec := &replicaRecord{
+			node:   m,
+			shard:  shard,
+			kind:   kindExec,
+			group:  g,
+			peers:  peerGroups,
+			region: region,
+		}
+		if err := c.addRecord(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addRecord starts a fresh record and registers it for crash/restart
+// bookkeeping.
+func (c *Cluster) addRecord(rec *replicaRecord) error {
+	if err := c.startRecord(rec); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.records = append(c.records, rec)
+	c.byNode[rec.node] = append(c.byNode[rec.node], rec)
+	c.mu.Unlock()
+	return nil
+}
+
+// startRecord (re)builds the record's replica instance. When the
+// cluster has a StateDir the replica opens its per-instance store
+// first, so a restart rehydrates from whatever checkpoint and log
+// suffix the previous incarnation flushed before it was stopped.
+func (c *Cluster) startRecord(rec *replicaRecord) error {
+	var st storage.Store
+	if c.Opts.StateDir != "" {
+		if rec.dir == "" {
+			rec.dir = filepath.Join(c.Opts.StateDir, fmt.Sprintf("n%d-s%d-%s", rec.node, rec.shard, rec.kind))
+		}
+		ds, err := storage.Open(rec.dir)
+		if err != nil {
+			return fmt.Errorf("harness: open store for node %d: %w", rec.node, err)
+		}
+		st = ds
+	}
+	switch rec.kind {
+	case kindAgree:
+		ar, err := core.NewAgreementReplica(core.AgreementConfig{
+			Group:            rec.group,
+			ExecGroups:       rec.entries,
+			AdminClients:     []ids.ClientID{c.adminID},
+			Suite:            c.suites[rec.node],
+			Node:             c.Net.Node(rec.node),
+			Tunables:         c.spiderTunables(),
+			ConsensusTimeout: 2 * time.Second,
+			ConsensusAuth:    c.Opts.ConsensusAuth,
+			CommitDedup:      c.Opts.CommitDedup,
+			CommitStats:      c.commit[rec.shard],
+			BatchOccupancy:   c.batchOcc[rec.shard],
+			SendOccupancy:    c.sendOcc[rec.shard],
+			Shard:            rec.shard,
+			Store:            st,
+		})
+		if err != nil {
+			if st != nil {
+				_ = st.Close()
+			}
+			return err
+		}
+		ar.Start()
+		rec.agree = ar
+	case kindExec:
 		er, err := core.NewExecutionReplica(core.ExecutionConfig{
-			Group:          g,
-			AgreementGroup: agGroup,
-			PeerGroups:     peerGroups,
-			Suite:          c.suites[m],
-			Node:           c.Net.Node(m),
+			Group:          rec.group,
+			AgreementGroup: core.ShardGroup(c.spiderAgreement, rec.shard),
+			PeerGroups:     rec.peers,
+			Suite:          c.suites[rec.node],
+			Node:           c.Net.Node(rec.node),
 			App:            app.NewKVStore(),
 			Tunables:       c.spiderTunables(),
 			CommitDedup:    c.Opts.CommitDedup,
-			CommitStats:    c.commit[shard],
-			Shard:          shard,
+			CommitStats:    c.commit[rec.shard],
+			Shard:          rec.shard,
 			ShardMap:       c.shardMap(),
 			KeyOf:          app.OpKey,
+			Store:          st,
 		})
 		if err != nil {
+			if st != nil {
+				_ = st.Close()
+			}
 			return err
 		}
 		er.Start()
-		c.execReplicas = append(c.execReplicas, er)
-		c.stops = append(c.stops, er.Stop)
+		rec.exec = er
+	default:
+		return fmt.Errorf("harness: unknown replica kind %q", rec.kind)
 	}
+	rec.running = true
 	return nil
 }
 
@@ -701,7 +969,7 @@ func (c *Cluster) AddRegion(region topo.Region) error {
 		for _, existing := range c.spiderGroups {
 			peers = append(peers, core.ShardGroup(existing, shard))
 		}
-		if err := c.startExecGroup(core.ShardGroup(g, shard), peers, shard); err != nil {
+		if err := c.startExecGroup(core.ShardGroup(g, shard), peers, shard, region); err != nil {
 			return err
 		}
 	}

@@ -113,6 +113,19 @@ type Config struct {
 	// CollectorTimeoutMS is how long an IRMC-SC receiver waits for a
 	// missing certificate before switching collectors (0 = default).
 	CollectorTimeoutMS int
+	// Resend enables IRMC-RC window-loss repair on this channel: the
+	// sender retains the sealed envelope of every in-window position it
+	// has sent (pruned as the window advances), and a receiver whose
+	// Receive has been blocked on an in-window, unresolved position for
+	// a full CollectorTimeoutMS interval asks the senders to re-transmit
+	// from that position. Without it a Send multicast is
+	// fire-and-forget, so a receiver cut off by a partition or restart
+	// could never obtain positions the window still covers — the channel
+	// would violate the IRMC window contract and wedge. Spider enables
+	// it on commit channels; request channels instead rely on client
+	// retries re-entering the forward path. IRMC-SC ignores the flag
+	// (certificate retention plus collector rotation already repairs).
+	Resend bool
 	// OnNewSubchannel, when set on a receiver endpoint, is invoked
 	// (outside endpoint locks) the first time traffic arrives for a
 	// subchannel. Spider's agreement replicas use it to discover

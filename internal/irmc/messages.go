@@ -16,6 +16,7 @@ const (
 	TagCertificate
 	TagProgress
 	TagSelect
+	TagResend
 )
 
 // NewRegistry builds the message registry for a channel endpoint.
@@ -27,6 +28,7 @@ func NewRegistry() *wire.Registry {
 	r.Register(TagCertificate, "certificate", func() wire.Message { return new(CertificateMsg) })
 	r.Register(TagProgress, "progress", func() wire.Message { return new(ProgressMsg) })
 	r.Register(TagSelect, "select", func() wire.Message { return new(SelectMsg) })
+	r.Register(TagResend, "resend", func() wire.Message { return new(ResendMsg) })
 	return r
 }
 
@@ -204,6 +206,29 @@ func (m *SelectMsg) UnmarshalWire(r *wire.Reader) {
 	m.Epoch = r.ReadUint64()
 }
 
+// ResendMsg is a receiver's request (IRMC-RC with resend repair) that
+// the sender re-transmit its retained Send envelopes for subchannel
+// positions at or above From. Receivers issue it when a Receive has
+// been blocked on an in-window, unresolved position for a full repair
+// interval — the signature that the original Send multicast was lost
+// (partition, crash, restart) rather than merely late.
+type ResendMsg struct {
+	Subchannel ids.Subchannel
+	From       ids.Position
+}
+
+// MarshalWire implements wire.Marshaler.
+func (m *ResendMsg) MarshalWire(w *wire.Writer) {
+	w.WriteSubchannel(m.Subchannel)
+	w.WritePos(m.From)
+}
+
+// UnmarshalWire implements wire.Unmarshaler.
+func (m *ResendMsg) UnmarshalWire(r *wire.Reader) {
+	m.Subchannel = r.ReadSubchannel()
+	m.From = r.ReadPos()
+}
+
 // Envelope is the on-wire frame of every IRMC message: the encoded
 // frame plus authentication. Signed frames (Send, SigShare envelopes)
 // carry signatures; the rest carry pairwise MACs, as in the paper.
@@ -243,6 +268,8 @@ func AuthDomain(tag wire.TypeTag) (crypto.Domain, bool, error) {
 		return crypto.DomainIRMCProgress, false, nil
 	case TagSelect:
 		return crypto.DomainIRMCSelect, false, nil
+	case TagResend:
+		return crypto.DomainIRMCResend, false, nil
 	default:
 		return 0, false, fmt.Errorf("irmc: unknown tag %d", tag)
 	}

@@ -8,6 +8,7 @@ package rc
 
 import (
 	"sync"
+	"time"
 
 	"spider/internal/crypto"
 	"spider/internal/ids"
@@ -24,6 +25,7 @@ type Sender struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
+	stop   chan struct{}
 	subs   map[ids.Subchannel]*senderSub
 }
 
@@ -31,6 +33,12 @@ type senderSub struct {
 	win      irmc.Window
 	recvWins map[ids.NodeID]ids.Position // window starts announced by receivers
 	ownMove  ids.Position                // highest window move we requested
+	// retained holds the sealed Send envelope of every in-window
+	// position (Config.Resend only), pruned as the window advances.
+	// The envelope is recipient independent, so a retained entry can
+	// be re-sent verbatim to any receiver that missed the original
+	// multicast.
+	retained map[ids.Position][]byte
 }
 
 var _ irmc.Sender = (*Sender)(nil)
@@ -44,11 +52,81 @@ func NewSender(cfg irmc.Config) (*Sender, error) {
 	s := &Sender{
 		cfg:  cfg,
 		reg:  irmc.NewRegistry(),
+		stop: make(chan struct{}),
 		subs: make(map[ids.Subchannel]*senderSub),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	cfg.Node.Handle(cfg.Stream, s.onFrame)
+	go s.moveLoop()
 	return s, nil
+}
+
+// moveLoop periodically re-announces the sender's window move to
+// receivers that have not yet acknowledged it. A MoveMsg is otherwise
+// multicast exactly once, so a receiver that is unreachable when the
+// move happens — crashed, restarting, or behind a partition — would
+// never learn the window advanced: its Receive of a garbage-collected
+// position would block forever instead of failing with TooOld (the
+// signal that triggers a checkpoint fetch), and the sender's own
+// window, which advances on fr+1 receiver acknowledgments, would stay
+// pinned, eventually blocking Send. Re-announcing until every receiver
+// has acknowledged restores liveness after the link heals.
+func (s *Sender) moveLoop() {
+	interval := time.Duration(s.cfg.ProgressIntervalMS) * time.Millisecond
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		s.reannounceMoves()
+	}
+}
+
+// reannounceMoves re-sends the current window move of every subchannel
+// to exactly the receivers whose last acknowledged window start still
+// trails it.
+func (s *Sender) reannounceMoves() {
+	type pending struct {
+		sc  ids.Subchannel
+		pos ids.Position
+		to  []ids.NodeID
+	}
+	var work []pending
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	for sc, sub := range s.subs {
+		if sub.ownMove == 0 {
+			continue
+		}
+		var lag []ids.NodeID
+		for _, nid := range s.cfg.Receivers.Members {
+			if sub.recvWins[nid] < sub.ownMove {
+				lag = append(lag, nid)
+			}
+		}
+		if len(lag) > 0 {
+			work = append(work, pending{sc: sc, pos: sub.ownMove, to: lag})
+		}
+	}
+	s.mu.Unlock()
+	for _, w := range work {
+		stop := s.cfg.Track()
+		frame := s.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: w.sc, Position: w.pos})
+		envs := irmc.SealAll(s.cfg.Suite, irmc.TagMove, frame, w.to)
+		stop()
+		for _, se := range envs {
+			s.cfg.Node.Send(se.To, s.cfg.Stream, se.Env)
+		}
+	}
 }
 
 func (s *Sender) sub(sc ids.Subchannel) *senderSub {
@@ -57,6 +135,7 @@ func (s *Sender) sub(sc ids.Subchannel) *senderSub {
 		sub = &senderSub{
 			win:      irmc.NewWindow(s.cfg.Capacity),
 			recvWins: make(map[ids.NodeID]ids.Position),
+			retained: make(map[ids.Position][]byte),
 		}
 		s.subs[sc] = sub
 	}
@@ -97,6 +176,14 @@ func (s *Sender) Send(sc ids.Subchannel, p ids.Position, msg []byte) error {
 		// cost Figure 9 charges this implementation for.
 		s.cfg.SendBytes.Add(int64(len(env)) * int64(len(s.cfg.Receivers.Members)))
 	}
+	if s.cfg.Resend {
+		s.mu.Lock()
+		sub = s.sub(sc)
+		if p >= sub.win.Start {
+			sub.retained[p] = env
+		}
+		s.mu.Unlock()
+	}
 	s.cfg.Node.Multicast(s.cfg.Receivers.Members, s.cfg.Stream, env)
 	return nil
 }
@@ -125,12 +212,15 @@ func (s *Sender) MoveWindow(sc ids.Subchannel, p ids.Position) {
 // Close implements irmc.Sender.
 func (s *Sender) Close() {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
-// onFrame handles inbound Move messages from receivers.
+// onFrame handles inbound Move and Resend messages from receivers.
 func (s *Sender) onFrame(from ids.NodeID, payload []byte) {
 	stop := s.cfg.Track()
 	defer stop()
@@ -138,11 +228,18 @@ func (s *Sender) onFrame(from ids.NodeID, payload []byte) {
 		return
 	}
 	tag, msg, err := irmc.Open(s.cfg.Suite, s.reg, from, payload)
-	if err != nil || tag != irmc.TagMove {
+	if err != nil {
 		return
 	}
-	move := msg.(*irmc.MoveMsg)
+	switch tag {
+	case irmc.TagMove:
+		s.onReceiverMove(from, msg.(*irmc.MoveMsg))
+	case irmc.TagResend:
+		s.onResend(from, msg.(*irmc.ResendMsg))
+	}
+}
 
+func (s *Sender) onReceiverMove(from ids.NodeID, move *irmc.MoveMsg) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -157,7 +254,47 @@ func (s *Sender) onFrame(from ids.NodeID, payload []byte) {
 	// one correct receiver endorsed moving that far.
 	newStart := irmc.KHighest(sub.recvWins, s.cfg.Receivers.Members, s.cfg.Receivers.F+1)
 	if sub.win.Advance(newStart) {
+		for p := range sub.retained {
+			if p < sub.win.Start {
+				delete(sub.retained, p)
+			}
+		}
 		s.cond.Broadcast()
+	}
+}
+
+// onResend re-transmits retained in-window envelopes at or above the
+// requested position to the one receiver that asked. Positions the
+// window has passed are omitted — the moveLoop's re-announcement tells
+// that receiver to move on, after which a checkpoint fetch covers the
+// gap. Re-received Sends are harmless: the receiver's per-sender
+// duplicate-vote guard makes admission idempotent.
+func (s *Sender) onResend(from ids.NodeID, m *irmc.ResendMsg) {
+	if !s.cfg.Resend {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	sub := s.sub(m.Subchannel)
+	lo := m.From
+	if lo < sub.win.Start {
+		lo = sub.win.Start
+	}
+	var envs [][]byte
+	for p := lo; p <= sub.win.Max(); p++ {
+		if env, ok := sub.retained[p]; ok {
+			envs = append(envs, env)
+		}
+	}
+	s.mu.Unlock()
+	for _, env := range envs {
+		if s.cfg.SendBytes != nil {
+			s.cfg.SendBytes.Add(int64(len(env)))
+		}
+		s.cfg.Node.Send(from, s.cfg.Stream, env)
 	}
 }
 
@@ -175,6 +312,7 @@ type Receiver struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	closed bool
+	stop   chan struct{}
 	subs   map[ids.Subchannel]*recvSub
 }
 
@@ -182,6 +320,10 @@ type recvSub struct {
 	win         irmc.Window
 	senderMoves map[ids.NodeID]ids.Position
 	slots       map[ids.Position]*slot
+	// waiting counts Receive calls currently blocked per position; the
+	// nackLoop uses it to spot in-window positions whose original Send
+	// multicast this receiver missed (Config.Resend only).
+	waiting map[ids.Position]int
 }
 
 // slot collects per-position submissions until fs+1 senders agree.
@@ -202,11 +344,15 @@ func NewReceiver(cfg irmc.Config) (*Receiver, error) {
 	r := &Receiver{
 		cfg:  cfg,
 		reg:  irmc.NewRegistry(),
+		stop: make(chan struct{}),
 		subs: make(map[ids.Subchannel]*recvSub),
 	}
 	r.lanes = irmc.NewOpenLanes(cfg, r.reg, cfg.Senders.Members)
 	r.cond = sync.NewCond(&r.mu)
 	transport.RegisterBatch(cfg.Node, cfg.Stream, r.onFrames)
+	if cfg.Resend {
+		go r.nackLoop()
+	}
 	return r, nil
 }
 
@@ -224,6 +370,7 @@ func (r *Receiver) subCreated(sc ids.Subchannel) (*recvSub, bool) {
 			win:         irmc.NewWindow(r.cfg.Capacity),
 			senderMoves: make(map[ids.NodeID]ids.Position),
 			slots:       make(map[ids.Position]*slot),
+			waiting:     make(map[ids.Position]int),
 		}
 		r.subs[sc] = sub
 	}
@@ -234,6 +381,13 @@ func (r *Receiver) subCreated(sc ids.Subchannel) (*recvSub, bool) {
 func (r *Receiver) Receive(sc ids.Subchannel, p ids.Position) ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	waitSub := r.sub(sc)
+	waitSub.waiting[p]++
+	defer func() {
+		if waitSub.waiting[p]--; waitSub.waiting[p] == 0 {
+			delete(waitSub.waiting, p)
+		}
+	}()
 	for {
 		if r.closed {
 			return nil, irmc.ErrClosed
@@ -296,9 +450,79 @@ func (r *Receiver) notifySenders(sc ids.Subchannel, p ids.Position) {
 // Close implements irmc.Receiver.
 func (r *Receiver) Close() {
 	r.mu.Lock()
-	r.closed = true
+	if !r.closed {
+		r.closed = true
+		close(r.stop)
+	}
 	r.cond.Broadcast()
 	r.mu.Unlock()
+}
+
+// nackLoop (Config.Resend only) watches for Receive calls stuck on an
+// in-window, unresolved position. Healthy blocking — the next position
+// simply has not been sent yet — clears within one interval; a
+// position still stuck across two consecutive ticks means the original
+// Send multicast was lost to this receiver (partition, restart), which
+// no amount of waiting repairs under RC's fire-and-forget fan-out. The
+// loop then asks all senders to re-transmit their retained envelopes
+// from the lowest stuck position.
+func (r *Receiver) nackLoop() {
+	interval := time.Duration(r.cfg.CollectorTimeoutMS) * time.Millisecond
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	lastStuck := make(map[ids.Subchannel]ids.Position)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		type nack struct {
+			sc   ids.Subchannel
+			from ids.Position
+		}
+		var nacks []nack
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		for sc, sub := range r.subs {
+			stuck := ids.Position(0)
+			for p := range sub.waiting {
+				if !sub.win.Contains(p) {
+					continue
+				}
+				if sl, ok := sub.slots[p]; ok && sl.resolved != nil {
+					continue
+				}
+				if stuck == 0 || p < stuck {
+					stuck = p
+				}
+			}
+			if stuck == 0 {
+				delete(lastStuck, sc)
+				continue
+			}
+			if lastStuck[sc] == stuck {
+				nacks = append(nacks, nack{sc: sc, from: stuck})
+			}
+			lastStuck[sc] = stuck
+		}
+		r.mu.Unlock()
+		for _, n := range nacks {
+			stop := r.cfg.Track()
+			frame := r.reg.EncodeFrame(irmc.TagResend, &irmc.ResendMsg{Subchannel: n.sc, From: n.from})
+			envs := irmc.SealAll(r.cfg.Suite, irmc.TagResend, frame, r.cfg.Senders.Members)
+			stop()
+			for _, se := range envs {
+				r.cfg.Node.Send(se.To, r.cfg.Stream, se.Env)
+			}
+		}
+	}
 }
 
 // onFrames admits a drained run of frames from one sender through the
@@ -378,18 +602,36 @@ func (r *Receiver) onSenderMove(from ids.NodeID, m *irmc.MoveMsg) {
 	if created {
 		r.notifyNewSub(m.Subchannel)
 	}
-	if m.Position <= sub.senderMoves[from] {
-		r.mu.Unlock()
-		return
+	if m.Position > sub.senderMoves[from] {
+		sub.senderMoves[from] = m.Position
 	}
-	sub.senderMoves[from] = m.Position
 	target := irmc.KHighest(sub.senderMoves, r.cfg.Senders.Members, r.cfg.Senders.F+1)
 	moved := false
 	if target > sub.win.Start {
 		moved = r.moveLocked(m.Subchannel, target)
 	}
+	start := sub.win.Start
 	r.mu.Unlock()
 	if moved {
 		r.notifySenders(m.Subchannel, target)
+		return
+	}
+	// No move: acknowledge our current window start to the announcing
+	// sender anyway. Senders re-announce a move until every receiver's
+	// acknowledged start has caught up with it, so a lost or stale ack
+	// — the announcement raced a partition or a restart — must be
+	// repairable by the re-announcement itself, or the sender would
+	// re-announce forever and its own window would never advance.
+	r.ackSender(m.Subchannel, start, from)
+}
+
+// ackSender reports the receiver's current window start to one sender.
+func (r *Receiver) ackSender(sc ids.Subchannel, p ids.Position, to ids.NodeID) {
+	stop := r.cfg.Track()
+	frame := r.reg.EncodeFrame(irmc.TagMove, &irmc.MoveMsg{Subchannel: sc, Position: p})
+	envs := irmc.SealAll(r.cfg.Suite, irmc.TagMove, frame, []ids.NodeID{to})
+	stop()
+	for _, se := range envs {
+		r.cfg.Node.Send(se.To, r.cfg.Stream, se.Env)
 	}
 }

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openStore(t *testing.T, dir string) *DirStore {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return s
+}
+
+func TestLoadEmpty(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Close()
+	img, err := s.Load()
+	if err != nil || img != nil {
+		t.Fatalf("empty dir: img=%v err=%v, want nil, nil", img, err)
+	}
+}
+
+func TestCheckpointSuffixRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.SaveCheckpoint(16, []byte("state@16"))
+	for pos := uint64(5); pos <= 9; pos++ {
+		s.Append(pos, []byte(fmt.Sprintf("batch-%d", pos)))
+	}
+	s.SaveMeta([]byte{0, 0, 0, 7})
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	img, err := s2.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if img.Seq != 16 || string(img.State) != "state@16" {
+		t.Fatalf("checkpoint = (%d, %q)", img.Seq, img.State)
+	}
+	if !bytes.Equal(img.Meta, []byte{0, 0, 0, 7}) {
+		t.Fatalf("meta = %v", img.Meta)
+	}
+	if len(img.Suffix) != 5 {
+		t.Fatalf("suffix length = %d, want 5 (%v)", len(img.Suffix), img.Damage)
+	}
+	for i, e := range img.Suffix {
+		wantPos := uint64(5 + i)
+		if e.Pos != wantPos || string(e.Payload) != fmt.Sprintf("batch-%d", wantPos) {
+			t.Fatalf("suffix[%d] = (%d, %q)", i, e.Pos, e.Payload)
+		}
+	}
+	if len(img.Damage) != 0 {
+		t.Fatalf("unexpected damage: %v", img.Damage)
+	}
+}
+
+// TestCheckpointTruncatesLog: a checkpoint covers the suffix written
+// before it, so the segment restarts empty; only later appends
+// survive.
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.Append(1, []byte("old-1"))
+	s.Append(2, []byte("old-2"))
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	s.SaveCheckpoint(8, []byte("state@8"))
+	s.Append(3, []byte("new-3"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	img, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if img.Seq != 8 {
+		t.Fatalf("seq = %d", img.Seq)
+	}
+	if len(img.Suffix) != 1 || img.Suffix[0].Pos != 3 {
+		t.Fatalf("suffix = %+v, want only the post-checkpoint record", img.Suffix)
+	}
+}
+
+// TestAtomicReplace: a newer checkpoint replaces the older one
+// completely.
+func TestAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.SaveCheckpoint(16, []byte("state@16"))
+	s.SaveCheckpoint(32, []byte("state@32"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	img, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if img.Seq != 32 || string(img.State) != "state@32" {
+		t.Fatalf("checkpoint = (%d, %q)", img.Seq, img.State)
+	}
+}
+
+// TestTruncatedTail: a torn final record (crash mid-write) drops only
+// that record; the valid prefix survives.
+func TestTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.SaveCheckpoint(4, []byte("base"))
+	s.Append(1, []byte("aaaa"))
+	s.Append(2, []byte("bbbb"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wal := filepath.Join(dir, walFile)
+	buf, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	if err := os.WriteFile(wal, buf[:len(buf)-7], 0o644); err != nil {
+		t.Fatalf("truncate wal: %v", err)
+	}
+
+	img, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(img.Suffix) != 1 || img.Suffix[0].Pos != 1 {
+		t.Fatalf("suffix = %+v, want only the intact record", img.Suffix)
+	}
+	if len(img.Damage) == 0 {
+		t.Fatal("expected a damage note for the torn tail")
+	}
+}
+
+// TestCorruptRecordStopsScan: a flipped byte mid-log truncates the
+// suffix at the corrupt record (digest mismatch), keeping the prefix.
+func TestCorruptRecordStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.Append(1, []byte("first"))
+	s.Append(2, []byte("second"))
+	s.Append(3, []byte("third"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wal := filepath.Join(dir, walFile)
+	buf, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatalf("read wal: %v", err)
+	}
+	// Flip one payload byte of the second record.
+	idx := bytes.Index(buf, []byte("second"))
+	if idx < 0 {
+		t.Fatal("second record not found")
+	}
+	buf[idx] ^= 0xFF
+	if err := os.WriteFile(wal, buf, 0o644); err != nil {
+		t.Fatalf("rewrite wal: %v", err)
+	}
+
+	img, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(img.Suffix) != 1 || img.Suffix[0].Pos != 1 {
+		t.Fatalf("suffix = %+v, want only the record before the corruption", img.Suffix)
+	}
+}
+
+// TestCorruptCheckpointFailsLoad: a damaged snapshot invalidates the
+// image entirely — the caller must start cold and Fetch.
+func TestCorruptCheckpointFailsLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.SaveCheckpoint(16, []byte("state@16"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	path := filepath.Join(dir, ckptFile)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	buf[len(buf)/2] ^= 0xFF
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+}
+
+// TestNonMonotonicStopsScan: replayed or reordered positions end the
+// suffix (callers require contiguity from their checkpoint on).
+func TestNonMonotonicStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	s.Append(5, []byte("five"))
+	s.Append(6, []byte("six"))
+	s.Append(6, []byte("six-again"))
+	s.Append(7, []byte("seven"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	img, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(img.Suffix) != 2 || img.Suffix[1].Pos != 6 {
+		t.Fatalf("suffix = %+v, want records 5 and 6 only", img.Suffix)
+	}
+}
+
+// TestWriteBehindDoesNotBlock: appends beyond the queue capacity are
+// dropped and counted, never blocked on.
+func TestWriteBehindDoesNotBlock(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	defer s.Close()
+	payload := bytes.Repeat([]byte("x"), 128)
+	for pos := uint64(1); pos <= 3*opQueueSize; pos++ {
+		s.Append(pos, payload)
+	}
+	// No assertion on the drop count (the writer races the producer);
+	// the calls returning at all is the property under test, and Sync
+	// must still complete.
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}

@@ -75,17 +75,55 @@ type Options struct {
 	PendingLimit int
 }
 
+// Profile shapes all links between one region pair beyond the
+// placement's base latency: extra one-way delay, extra jitter, and
+// probabilistic frame loss. Profiles model WAN weather (congestion,
+// routing flaps) for chaos scenarios; drop decisions come from the
+// per-link seeded generators, so runs replay from the network seed.
+type Profile struct {
+	// ExtraLatency is added to every frame's one-way delay.
+	ExtraLatency time.Duration
+	// JitterFrac adds uniform random delay in [0, JitterFrac*delay]
+	// on top of the network-wide jitter option.
+	JitterFrac float64
+	// Loss is the per-frame drop probability in [0,1].
+	Loss float64
+}
+
+// Named WAN profiles for scenario scripts.
+var (
+	// ProfileHealthy restores a pair to placement baseline.
+	ProfileHealthy = Profile{}
+	// ProfileDegraded models a congested path: noticeably slower,
+	// occasionally lossy.
+	ProfileDegraded = Profile{ExtraLatency: 30 * time.Millisecond, JitterFrac: 0.2, Loss: 0.01}
+	// ProfileLossy models a flapping path: heavy jitter and loss.
+	ProfileLossy = Profile{ExtraLatency: 10 * time.Millisecond, JitterFrac: 0.5, Loss: 0.05}
+)
+
+// regionPair is an unordered region pair (profiles are symmetric).
+type regionPair struct{ a, b topo.Region }
+
+func normPair(a, b topo.Region) regionPair {
+	if b < a {
+		a, b = b, a
+	}
+	return regionPair{a, b}
+}
+
 // Network is an in-process transport with emulated latency.
 type Network struct {
 	opts Options
 
-	mu       sync.Mutex
-	nodes    map[ids.NodeID]*memNode
-	links    map[linkKey]*link
-	cut      map[linkKey]bool
-	isolated map[ids.NodeID]bool
-	dropRate map[linkKey]float64
-	closed   bool
+	mu        sync.Mutex
+	nodes     map[ids.NodeID]*memNode
+	links     map[linkKey]*link
+	cut       map[linkKey]bool
+	isolated  map[ids.NodeID]bool
+	dropRate  map[linkKey]float64
+	profiles  map[regionPair]Profile
+	partition map[topo.Region]bool // non-nil while a partition is active
+	closed    bool
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -111,6 +149,7 @@ func New(opts Options) *Network {
 		cut:      make(map[linkKey]bool),
 		isolated: make(map[ids.NodeID]bool),
 		dropRate: make(map[linkKey]float64),
+		profiles: make(map[regionPair]Profile),
 		done:     make(chan struct{}),
 	}
 }
@@ -186,6 +225,62 @@ func (n *Network) SetDropRate(a, b ids.NodeID, rate float64) {
 	n.dropRate[linkKey{a, b}] = rate
 }
 
+// SetProfile applies a WAN profile to every link between regions a and
+// b, in both directions (also a == b for intra-region shaping). The
+// zero Profile (ProfileHealthy) removes the shaping. Requires a
+// Placement; without one nodes have no region and profiles never
+// match.
+func (n *Network) SetProfile(a, b topo.Region, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := normPair(a, b)
+	if p == (Profile{}) {
+		delete(n.profiles, key)
+		return
+	}
+	n.profiles[key] = p
+}
+
+// Partition drops every frame crossing between the given region set
+// and its complement until Heal, emulating a clean network split.
+// Traffic within either side still flows. Nodes without a placement
+// site count as the complement. A second call replaces the first.
+func (n *Network) Partition(regions ...topo.Region) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[topo.Region]bool, len(regions))
+	for _, r := range regions {
+		n.partition[r] = true
+	}
+}
+
+// Heal removes the active partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = nil
+}
+
+// Partitioned reports whether a partition is active.
+func (n *Network) Partitioned() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partition != nil
+}
+
+// regionOf returns a node's region ("" when unplaced). Callers hold no
+// locks ordering issue: Placement has its own lock.
+func (n *Network) regionOf(id ids.NodeID) topo.Region {
+	if n.opts.Placement == nil {
+		return ""
+	}
+	site, ok := n.opts.Placement.Site(id)
+	if !ok {
+		return ""
+	}
+	return site.Region
+}
+
 // Stats returns a snapshot of the traffic counters.
 func (n *Network) Stats() Stats {
 	var s Stats
@@ -219,14 +314,20 @@ func (n *Network) classify(from, to ids.NodeID) LinkClass {
 
 // send enqueues one frame onto the from->to link.
 func (n *Network) send(from, to ids.NodeID, stream transport.Stream, payload []byte) {
+	rFrom, rTo := n.regionOf(from), n.regionOf(to)
 	n.mu.Lock()
-	if n.closed || n.isolated[from] || n.isolated[to] || n.cut[linkKey{from, to}] {
+	if n.closed || n.isolated[from] || n.isolated[to] || n.cut[linkKey{from, to}] ||
+		(n.partition != nil && from != to && n.partition[rFrom] != n.partition[rTo]) {
 		n.mu.Unlock()
 		n.dropped.Add(1)
 		return
 	}
 	key := linkKey{from, to}
 	rate := n.dropRate[key]
+	var prof Profile
+	if from != to && len(n.profiles) > 0 {
+		prof = n.profiles[normPair(rFrom, rTo)]
+	}
 	l, ok := n.links[key]
 	if !ok {
 		l = newLink(n.opts.Seed, from, to)
@@ -245,7 +346,7 @@ func (n *Network) send(from, to ids.NodeID, stream transport.Stream, payload []b
 	}
 	n.mu.Unlock()
 
-	if rate > 0 && l.rand(rate) {
+	if (rate > 0 && l.rand(rate)) || (prof.Loss > 0 && l.rand(prof.Loss)) {
 		n.dropped.Add(1)
 		return
 	}
@@ -258,7 +359,8 @@ func (n *Network) send(from, to ids.NodeID, stream transport.Stream, payload []b
 	if n.opts.Placement != nil {
 		base = n.opts.Placement.OneWay(from, to)
 	}
-	l.enqueue(frame{from: from, stream: stream, payload: payload}, base, n.opts.JitterFrac)
+	base += prof.ExtraLatency
+	l.enqueue(frame{from: from, stream: stream, payload: payload}, base, n.opts.JitterFrac+prof.JitterFrac)
 }
 
 // frameOverhead approximates per-frame header cost (IP+TCP headers) so

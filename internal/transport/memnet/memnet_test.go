@@ -275,3 +275,145 @@ func TestLinkClassString(t *testing.T) {
 		t.Error("LinkClass.String mismatch")
 	}
 }
+
+// dropPattern sends count frames over 1->2 and records, per frame,
+// whether it was dropped (drops are decided synchronously in send).
+func dropPattern(net *Network, count int) []bool {
+	pattern := make([]bool, count)
+	prev := net.Stats().Dropped
+	for i := range pattern {
+		net.Node(1).Send(2, testStream, []byte("x"))
+		now := net.Stats().Dropped
+		pattern[i] = now > prev
+		prev = now
+	}
+	return pattern
+}
+
+// TestDropDeterminism: drop decisions come from per-link generators
+// seeded by the network seed, so a chaos failure replays exactly from
+// a logged seed — and a different seed yields a different run.
+func TestDropDeterminism(t *testing.T) {
+	const count = 200
+	run := func(seed int64) []bool {
+		net := New(Options{Seed: seed})
+		defer net.Close()
+		net.Node(2).Handle(testStream, func(ids.NodeID, []byte) {})
+		net.SetDropRate(1, 2, 0.5)
+		return dropPattern(net, count)
+	}
+	a, b := run(1234), run(1234)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d", i)
+		}
+	}
+	c := run(99)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+// TestPartitionHeal: a region partition severs only the traffic
+// crossing the boundary, in both directions, and Heal restores it.
+func TestPartitionHeal(t *testing.T) {
+	p := topo.NewPlacement(0.001)
+	p.Place(1, topo.Site{Region: topo.Virginia, Zone: 0})
+	p.Place(2, topo.Site{Region: topo.Virginia, Zone: 1})
+	p.Place(3, topo.Site{Region: topo.Tokyo, Zone: 0})
+	net := New(Options{Placement: p})
+	defer net.Close()
+
+	counts := make(map[ids.NodeID]*atomic.Int32)
+	for _, id := range []ids.NodeID{1, 2, 3} {
+		c := &atomic.Int32{}
+		counts[id] = c
+		net.Node(id).Handle(testStream, func(ids.NodeID, []byte) { c.Add(1) })
+	}
+	wait := func(c *atomic.Int32, want int32) {
+		t.Helper()
+		deadline := time.Now().Add(time.Second)
+		for c.Load() < want && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if got := c.Load(); got != want {
+			t.Fatalf("count = %d, want %d", got, want)
+		}
+	}
+
+	net.Partition(topo.Virginia)
+	if !net.Partitioned() {
+		t.Fatal("Partitioned() = false during a partition")
+	}
+	net.Node(1).Send(3, testStream, []byte("cross"))  // dropped
+	net.Node(3).Send(1, testStream, []byte("cross"))  // dropped
+	net.Node(1).Send(2, testStream, []byte("within")) // delivered
+	wait(counts[2], 1)
+	time.Sleep(20 * time.Millisecond)
+	if counts[3].Load() != 0 || counts[1].Load() != 0 {
+		t.Fatal("partition leaked cross-boundary frames")
+	}
+
+	net.Heal()
+	if net.Partitioned() {
+		t.Fatal("Partitioned() = true after Heal")
+	}
+	net.Node(1).Send(3, testStream, []byte("cross"))
+	wait(counts[3], 1)
+}
+
+// TestProfileShapesLatencyAndLoss: a region-pair profile adds delay
+// and loss on top of the placement baseline, and resetting it to
+// ProfileHealthy restores the baseline.
+func TestProfileShapesLatencyAndLoss(t *testing.T) {
+	p := topo.NewPlacement(0.001)
+	p.Place(1, topo.Site{Region: topo.Virginia})
+	p.Place(2, topo.Site{Region: topo.Tokyo})
+	net := New(Options{Placement: p, Seed: 5})
+	defer net.Close()
+
+	got := make(chan time.Duration, 8)
+	var start time.Time
+	net.Node(2).Handle(testStream, func(ids.NodeID, []byte) {
+		got <- time.Since(start)
+	})
+
+	net.SetProfile(topo.Virginia, topo.Tokyo, Profile{ExtraLatency: 60 * time.Millisecond})
+	start = time.Now()
+	net.Node(1).Send(2, testStream, []byte("slow"))
+	select {
+	case d := <-got:
+		if d < 55*time.Millisecond {
+			t.Fatalf("profiled delivery took %v, want >= ~60ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("profiled frame not delivered")
+	}
+
+	// Loss 1.0 severs the pair; drops are counted.
+	net.SetProfile(topo.Virginia, topo.Tokyo, Profile{Loss: 1})
+	before := net.Stats().Dropped
+	net.Node(1).Send(2, testStream, []byte("lost"))
+	if net.Stats().Dropped != before+1 {
+		t.Fatal("profile loss did not drop the frame")
+	}
+
+	net.SetProfile(topo.Virginia, topo.Tokyo, ProfileHealthy)
+	start = time.Now()
+	net.Node(1).Send(2, testStream, []byte("fast"))
+	select {
+	case d := <-got:
+		if d > 50*time.Millisecond {
+			t.Fatalf("healthy delivery took %v, want baseline", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("healthy frame not delivered")
+	}
+}
