@@ -5,10 +5,12 @@ GO ?= go
 ## BENCH_PATTERN: the benchmark set snapshots record — the agreement
 ## throughput suite, the zero-allocation micro paths, the
 ## commit-channel dedup byte metrics (commit-B/req and wire-B/req on a
-## strong-read-heavy workload, with dedup on and off), and the
+## strong-read-heavy workload, with dedup on and off), the
 ## keyspace-shard sweep (S=1/2/4 end-to-end write latency; S=1 is the
-## unsharded baseline).
-BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle|CommitDedup|ShardSweep
+## unsharded baseline), and the adaptive-batching sweep (low/medium/
+## saturated offered load, best-static vs adaptive; the adaptive
+## acceptance bar is within ~10% of best-static at every level).
+BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle|CommitDedup|ShardSweep|AdaptiveSweep
 
 .PHONY: check build vet test race fuzz-seeds soak soak-smoke bench bench-snapshot bench-compare tidy
 
@@ -30,7 +32,7 @@ test:
 ## (harness included: sharded clusters aggregate per-shard stats while
 ## workload goroutines write them).
 race:
-	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/... ./internal/harness/
+	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/... ./internal/harness/ ./internal/tune/ ./internal/stats/
 
 ## soak: the chaos scenario matrix — crash/restart, partition-and-heal,
 ## leader churn — under the race detector, with the continuous

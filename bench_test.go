@@ -430,6 +430,131 @@ func BenchmarkMACThroughputBatch64(b *testing.B) {
 	benchPBFTThroughput(b, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 64)
 }
 
+// --- adaptive batching sweep --------------------------------------------------
+
+// benchAdaptiveSweep is the closed-loop variant of benchPBFTThroughput:
+// a semaphore of `outstanding` permits bounds the requests in flight
+// (permits release as the counting replica delivers), so the load
+// level is the semaphore width rather than tight-loop saturation — a
+// tight loop saturates at any flow count, which cannot express "low
+// offered load". The pipeline window is 16 batches so the saturated
+// level genuinely overruns it; the resulting queue is the adaptive
+// controller's grow signal. Each load level runs once with the best
+// static batch size for that level and once with AdaptiveBatching
+// discovering its own operating point from the same cap; the adaptive
+// acceptance bar is staying within ~10% of best-static at every level.
+func benchAdaptiveSweep(b *testing.B, outstanding, batch int, adaptive bool) {
+	nodes := []ids.NodeID{1, 2, 3, 4}
+	group := ids.Group{ID: 1, Members: nodes, F: 1}
+	suites := crypto.NewSuites(nodes, crypto.SuiteRSA)
+	net := memnet.New(memnet.Options{})
+	defer net.Close()
+
+	var delivered, target atomic.Int64
+	target.Store(int64(1) << 62) // no finish line until the warmup is sized
+	done := make(chan struct{})
+	sem := make(chan struct{}, outstanding)
+	for i := 0; i < outstanding; i++ {
+		sem <- struct{}{}
+	}
+	replicas := make([]*pbft.Replica, 0, len(nodes))
+	for _, id := range nodes {
+		counting := id == nodes[0]
+		r, err := pbft.New(pbft.Config{
+			Group:              group,
+			Suite:              suites[id],
+			Node:               net.Node(id),
+			Stream:             1,
+			BatchSize:          batch,
+			AdaptiveBatching:   adaptive,
+			Window:             16,
+			CheckpointInterval: 4,
+			RequestTimeout:     time.Minute, // saturation is not a faulty leader
+			NormalCaseAuth:     pbft.AuthMACVector,
+			Deliver: func(batch consensus.Batch) {
+				if !counting {
+					return
+				}
+				for range batch.Payloads {
+					sem <- struct{}{}
+				}
+				if delivered.Add(int64(len(batch.Payloads))) >= target.Load() {
+					select {
+					case <-done:
+					default:
+						close(done)
+					}
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		replicas = append(replicas, r)
+	}
+	for _, r := range replicas {
+		r.Start()
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	// Warm up for half a second of wall clock before the timer starts:
+	// the adaptive controller converges in ~150ms (AIMD ramp plus one
+	// probe cycle), and the measurement should compare operating
+	// points, not charge adaptive for its one-time ramp — which at
+	// small fixed iteration counts would dominate the window.
+	leader := replicas[0]
+	warmed := 0
+	for warmUntil := time.Now().Add(500 * time.Millisecond); time.Now().Before(warmUntil); warmed++ {
+		<-sem
+		leader.Order(fmt.Appendf(make([]byte, 0, 64), "sweep-warm-%08d", warmed))
+	}
+	for delivered.Load() < int64(warmed) {
+		time.Sleep(time.Millisecond)
+	}
+	target.Store(int64(warmed) + int64(b.N))
+
+	b.ResetTimer()
+	start := time.Now()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			<-sem
+			leader.Order(fmt.Appendf(make([]byte, 0, 64), "sweep-req-%08d", i))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Minute):
+		b.Fatalf("delivered %d of %d requests before timeout", delivered.Load()-int64(warmed), b.N)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "req/s")
+	if adaptive {
+		b.ReportMetric(float64(leader.BatchTarget()), "batch-target")
+	}
+}
+
+// Low load: one request in flight. Best static is batch 1 (no flush
+// delay, one signature per request is unavoidable); adaptive must hold
+// its MinBatch floor and collapse the flush delay to zero.
+func BenchmarkAdaptiveSweepLowStatic(b *testing.B) { benchAdaptiveSweep(b, 1, 1, false) }
+
+func BenchmarkAdaptiveSweepLowAdaptive(b *testing.B) { benchAdaptiveSweep(b, 1, 64, true) }
+
+// Medium load: the in-flight bound equals the pipeline window, so the
+// leader sees intermittent queueing. Best static is a mid batch.
+func BenchmarkAdaptiveSweepMediumStatic(b *testing.B) { benchAdaptiveSweep(b, 16, 8, false) }
+
+func BenchmarkAdaptiveSweepMediumAdaptive(b *testing.B) { benchAdaptiveSweep(b, 16, 64, true) }
+
+// Saturated: in-flight far beyond the window keeps a standing queue.
+// Best static is the full batch cap; adaptive must climb to it.
+func BenchmarkAdaptiveSweepSaturatedStatic(b *testing.B) { benchAdaptiveSweep(b, 128, 64, false) }
+
+func BenchmarkAdaptiveSweepSaturatedAdaptive(b *testing.B) { benchAdaptiveSweep(b, 128, 64, true) }
+
 // --- commit-channel payload dedup ------------------------------------------------
 
 // benchCommitDedup drives a strong-read-heavy workload (the

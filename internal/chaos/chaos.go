@@ -267,7 +267,13 @@ func (r *Runner) Play(events []Event, load Load) error {
 func (r *Runner) StartLoad(l Load) error {
 	l.applyDefaults(r.c)
 	r.mu.Lock()
+	if !r.loadOn {
+		// A fresh stop signal: the previous one was closed by StopLoad,
+		// and clients started now must not see that stale close.
+		r.loadStop = make(chan struct{})
+	}
 	r.loadOn = true
+	stop := r.loadStop
 	r.mu.Unlock()
 	for _, region := range l.Regions {
 		for i := 0; i < l.Clients; i++ {
@@ -280,17 +286,21 @@ func (r *Runner) StartLoad(l Load) error {
 			r.nextClient++
 			r.mu.Unlock()
 			r.loadWG.Add(1)
-			go r.runClient(ci, client, l)
+			go r.runClient(ci, client, l, stop)
 		}
 	}
 	return nil
 }
 
-func (r *Runner) runClient(ci int, client *core.Client, l Load) {
+// runClient drives one load client until its stop channel closes. The
+// channel is passed in rather than read off the Runner because
+// StartLoad after StopLoad replaces the field — a client must honor
+// the signal of the load generation that started it.
+func (r *Runner) runClient(ci int, client *core.Client, l Load, stop <-chan struct{}) {
 	defer r.loadWG.Done()
 	for i := 0; ; i++ {
 		select {
-		case <-r.loadStop:
+		case <-stop:
 			return
 		default:
 		}
@@ -311,7 +321,7 @@ func (r *Runner) runClient(ci int, client *core.Client, l Load) {
 		r.hist.Record(ci, key, dec.Counter)
 		if l.Interval > 0 {
 			select {
-			case <-r.loadStop:
+			case <-stop:
 				return
 			case <-time.After(l.Interval):
 			}

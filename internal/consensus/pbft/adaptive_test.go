@@ -1,0 +1,110 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spider/internal/stats"
+)
+
+// TestConfigDefaultCheckpointIntervalClamped pins the defaulting
+// contract: an explicitly small Window with an unset CheckpointInterval
+// must clamp the default below the window (the comment on
+// CheckpointInterval says "must be smaller than Window" — silently
+// wedging the pipeline or rejecting a config the user never
+// contradicted are both wrong).
+func TestConfigDefaultCheckpointIntervalClamped(t *testing.T) {
+	c := newCluster(t, 4, 1, func(i int, cfg *Config) {
+		cfg.Window = 8
+		cfg.CheckpointInterval = 0 // defaulted: would be 16 >= 8
+	})
+	defer c.stop()
+	for _, r := range c.replicas {
+		if got := r.cfg.CheckpointInterval; got != 4 {
+			t.Fatalf("defaulted checkpoint interval = %d, want 4 (window 8 / 2)", got)
+		}
+	}
+	// The clamped pipeline must actually run past several checkpoints.
+	c.start()
+	for i := 0; i < 40; i++ {
+		c.orderAll(fmt.Appendf(nil, "clamp-%d", i))
+	}
+	c.waitDeliveries(40, 10*time.Second, nil)
+}
+
+// TestConfigExplicitCheckpointIntervalRejected: an explicitly
+// contradictory pair still fails construction — only the value the
+// defaulting picked itself may be adjusted.
+func TestConfigExplicitCheckpointIntervalRejected(t *testing.T) {
+	cfg := Config{CheckpointInterval: 8, Window: 8}
+	cfg.applyDefaults()
+	if err := cfg.validate(); err == nil {
+		t.Fatal("explicit checkpoint interval >= window passed validation")
+	}
+}
+
+// TestAdaptiveBatchingConverges drives one adaptive group through both
+// load regimes over the real pipeline: a sustained burst must grow the
+// leader's batch target well above the floor, and trickle load must
+// collapse it back to single-request batches with a near-zero flush
+// delay. Static-knob deployments (AdaptiveBatching unset) must report
+// the configured BatchSize unchanged.
+func TestAdaptiveBatchingConverges(t *testing.T) {
+	rate := stats.NewRate(time.Second)
+	c := newCluster(t, 4, 1, func(i int, cfg *Config) {
+		cfg.BatchSize = 32
+		cfg.BatchDelay = time.Millisecond
+		cfg.Window = 64
+		cfg.CheckpointInterval = 16
+		cfg.AdaptiveBatching = true
+		if i == 0 {
+			cfg.ArrivalRate = rate
+		}
+	})
+	defer c.stop()
+	c.start()
+	leader := c.replicas[0]
+
+	if got := leader.BatchTarget(); got != 1 {
+		t.Fatalf("initial adaptive batch target = %d, want the floor 1", got)
+	}
+
+	// Saturate: submit far faster than single-request consensus rounds
+	// can drain, in waves so the queue stays deep for many controller
+	// intervals.
+	total := 0
+	deadline := time.Now().Add(15 * time.Second)
+	for leader.BatchTarget() < 16 && time.Now().Before(deadline) {
+		for i := 0; i < 200; i++ {
+			leader.Order(fmt.Appendf(nil, "sat-%06d", total))
+			total++
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := leader.BatchTarget(); got < 16 {
+		t.Fatalf("batch target after sustained saturation = %d, want >= 16", got)
+	}
+	if rate.PerSecond() == 0 {
+		t.Fatal("arrival-rate recorder saw no load")
+	}
+	c.waitDeliveries(total, 30*time.Second, nil)
+
+	// Trickle: one request at a time, each delivered before the next.
+	deadline = time.Now().Add(15 * time.Second)
+	for leader.BatchTarget() > 1 && time.Now().Before(deadline) {
+		leader.Order(fmt.Appendf(nil, "trickle-%06d", total))
+		total++
+		c.waitDeliveries(total, 10*time.Second, nil)
+	}
+	if got := leader.BatchTarget(); got != 1 {
+		t.Fatalf("batch target under trickle load = %d, want 1", got)
+	}
+
+	// Static deployments are untouched by the controller plumbing.
+	static := newCluster(t, 4, 1, func(i int, cfg *Config) { cfg.BatchSize = 4 })
+	defer static.stop()
+	if got := static.replicas[0].BatchTarget(); got != 4 {
+		t.Fatalf("static batch target = %d, want the configured 4", got)
+	}
+}

@@ -3,6 +3,7 @@ package pbft
 import (
 	"errors"
 	"fmt"
+	"log"
 	"time"
 
 	"spider/internal/crypto"
@@ -145,6 +146,18 @@ type Config struct {
 	BatchOccupancy *stats.Occupancy
 	// BatchDelay is how long the leader waits to fill a batch.
 	BatchDelay time.Duration
+	// AdaptiveBatching closes the loop between offered load and the
+	// batching knobs: the replica runs an AIMD controller
+	// (internal/tune) that swings the effective batch size within
+	// [1, BatchSize] and the partial-batch flush delay within
+	// [0, BatchDelay], from EWMAs of batch occupancy and queue depth
+	// sampled at propose time. Off by default: the static
+	// BatchSize/BatchDelay behavior stays byte-for-byte reachable.
+	AdaptiveBatching bool
+	// ArrivalRate, when set with AdaptiveBatching, receives every
+	// admitted request so deployments can read the windowed offered
+	// load (req/s) the controller saw.
+	ArrivalRate *stats.Rate
 	// Window is the number of batches that may be in flight beyond
 	// the low watermark (pipeline depth).
 	Window int
@@ -186,6 +199,19 @@ func (c *Config) applyDefaults() {
 	}
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = 16
+		// The default must respect an explicitly small Window: the
+		// checkpoint interval has to stay below the window or the
+		// pipeline outruns garbage collection and wedges. An explicit
+		// contradictory pair still fails validation — only the value we
+		// picked ourselves is clamped.
+		if c.CheckpointInterval >= c.Window {
+			clamped := c.Window / 2
+			if clamped < 1 {
+				clamped = 1
+			}
+			log.Printf("pbft: default checkpoint interval 16 >= window %d; clamping to %d", c.Window, clamped)
+			c.CheckpointInterval = clamped
+		}
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Second

@@ -11,6 +11,7 @@ import (
 	"spider/internal/crypto"
 	"spider/internal/ids"
 	"spider/internal/transport"
+	"spider/internal/tune"
 	"spider/internal/wire"
 )
 
@@ -136,6 +137,12 @@ type Replica struct {
 	batchTimerOn  bool
 	batchTimer    *time.Timer // live partial-batch flush timer, canceled by Stop
 
+	// tuner, when AdaptiveBatching is configured, owns the effective
+	// batch size and flush delay. It is consulted and updated only
+	// under r.mu at points the hot path already holds it, so the
+	// adaptive mode adds no locking. Nil when the static knobs rule.
+	tuner *tune.BatchController
+
 	// View-change emission state for the MAC fast path: after entering
 	// a view change the replica may briefly hold its view-change
 	// message back (vcHold) while the proof-upgrade round replaces
@@ -219,6 +226,13 @@ func New(cfg Config) (*Replica, error) {
 		recvLanes:    make(map[ids.NodeID]*crypto.Lane, len(cfg.Group.Members)),
 		voteReqAt:    make(map[ids.NodeID]time.Time),
 		voteAnsAt:    make(map[ids.NodeID]time.Time),
+	}
+	if cfg.AdaptiveBatching {
+		r.tuner = tune.NewBatchController(tune.BatchConfig{
+			MaxBatch: cfg.BatchSize,
+			MaxDelay: cfg.BatchDelay,
+			Rate:     cfg.ArrivalRate,
+		})
 	}
 	for _, m := range cfg.Group.Members {
 		r.recvLanes[m] = cfg.Pipeline.NewLane()
@@ -321,7 +335,36 @@ func (r *Replica) Order(payload []byte) {
 	r.seen[d] = reqQueued
 	r.pendingSince[d] = time.Now()
 	r.queue = append(r.queue, queuedReq{payload: payload, digest: d})
+	// Only the leader samples arrivals: every group member Orders every
+	// request, so an unconditional sample into a shared recorder would
+	// overcount offered load by the group size.
+	if r.tuner != nil && r.isLeaderLocked() {
+		r.tuner.ObserveArrival(time.Now())
+	}
 	r.maybeProposeLocked(false)
+}
+
+// BatchTarget returns the batch size the replica currently aims for:
+// the adaptive controller's target when AdaptiveBatching is on, the
+// static BatchSize otherwise. Exposed for tests and figure footnotes.
+func (r *Replica) BatchTarget() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.batchTargetLocked()
+}
+
+func (r *Replica) batchTargetLocked() int {
+	if r.tuner != nil {
+		return r.tuner.Batch()
+	}
+	return r.cfg.BatchSize
+}
+
+func (r *Replica) batchDelayLocked() time.Duration {
+	if r.tuner != nil {
+		return r.tuner.Delay()
+	}
+	return r.cfg.BatchDelay
 }
 
 // GC implements consensus.Agreement: delivered batches entirely below
@@ -672,16 +715,17 @@ func (r *Replica) maybeProposeLocked(force bool) {
 // O(queued): under saturation the queue holds thousands of requests
 // and rewriting it per batch was a measurable share of the hot path.
 func (r *Replica) takeBatchLocked(force bool) []queuedReq {
-	batch := make([]queuedReq, 0, r.cfg.BatchSize)
+	target := r.batchTargetLocked()
+	batch := make([]queuedReq, 0, target)
 	i := 0
-	for ; i < len(r.queue) && len(batch) < r.cfg.BatchSize; i++ {
+	for ; i < len(r.queue) && len(batch) < target; i++ {
 		q := r.queue[i]
 		if r.seen[q.digest] != reqQueued {
 			continue // delivered or already in flight; drop silently
 		}
 		batch = append(batch, q)
 	}
-	if len(batch) < r.cfg.BatchSize && !force {
+	if len(batch) < target && !force {
 		// Not enough for a full batch: leave the queue as is and wait
 		// for the batch delay to flush.
 		if len(batch) > 0 {
@@ -711,8 +755,10 @@ func (r *Replica) armBatchTimerLocked() {
 	r.batchTimerOn = true
 	// The timer handle is retained so Stop can cancel it: an orphaned
 	// AfterFunc would fire into the stopped replica's lock and keep the
-	// replica reachable until the delay elapses.
-	r.batchTimer = time.AfterFunc(r.cfg.BatchDelay, func() {
+	// replica reachable until the delay elapses. The delay re-arms from
+	// the adaptive controller's current value when AdaptiveBatching is
+	// on, so trickle load flushes partial batches almost immediately.
+	r.batchTimer = time.AfterFunc(r.batchDelayLocked(), func() {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		r.batchTimerOn = false
@@ -733,6 +779,9 @@ func (r *Replica) proposeLocked(batch []queuedReq) {
 	}
 	if r.cfg.BatchOccupancy != nil {
 		r.cfg.BatchOccupancy.Record(len(payloads))
+	}
+	if r.tuner != nil {
+		r.tuner.ObservePropose(time.Now(), len(batch), len(r.queue))
 	}
 	seq := r.nextSeq
 	r.nextSeq++

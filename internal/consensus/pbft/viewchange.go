@@ -479,6 +479,13 @@ func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*pre
 	r.vcTarget = nv.View
 	r.vcSent = false
 	r.curTimeout = r.cfg.RequestTimeout
+	if r.tuner != nil {
+		// The controller's signals belong to the deposed leader's
+		// regime. A replica that just lost leadership is never fed
+		// again and would freeze at its last elevated target; the new
+		// leader ramps from the floor like any fresh one.
+		r.tuner.Reset()
+	}
 	if r.cfg.OnViewInstall != nil {
 		r.cfg.OnViewInstall(nv.View)
 	}

@@ -280,6 +280,24 @@ type AgreementConfig struct {
 	// end-to-end throughput as a first-class workload dimension.
 	// ConsensusBatch = 1 restores request-at-a-time semantics.
 	ConsensusBatch int
+	// AdaptiveBatching closes the loop on the batching knobs: PBFT's
+	// leader swings its effective batch size within [1,ConsensusBatch]
+	// and the flush delay toward zero at trickle load, driven by
+	// measured occupancy and queue depth (internal/tune). Off by
+	// default — the static ConsensusBatch point stays byte-for-byte
+	// reachable.
+	AdaptiveBatching bool
+	// AdaptiveWindows auto-sizes the commit channels' effective send
+	// windows from their measured drain rate: blocked sends grow a
+	// window toward Tunables.CommitChannelCapacity, sustained slack
+	// shrinks it toward the execution checkpoint interval, bounding
+	// in-flight memory at low load. Sender-local (no wire change);
+	// only IRMC-RC channels resize, SC ignores it. Off by default.
+	AdaptiveWindows bool
+	// ArrivalRate, when set with AdaptiveBatching, records every
+	// admitted consensus payload so deployments can read the windowed
+	// offered load (req/s) the batch controller saw.
+	ArrivalRate *stats.Rate
 	// ConsensusAuth selects how PBFT authenticates its normal-case
 	// messages. The zero value is the paper's agreement-cluster
 	// optimisation: MAC vectors among the agreement replicas (whose

@@ -204,6 +204,28 @@ func (w *Window) Advance(p ids.Position) bool {
 	return true
 }
 
+// FlowStats is a snapshot of one subchannel's sender-side flow
+// counters, the measurement inputs of adaptive window sizing: Acked
+// and Blocked are cumulative (the sampler differences consecutive
+// snapshots for per-interval drain and stall rates), Outstanding and
+// Capacity are instantaneous.
+type FlowStats struct {
+	Acked       int64 // positions the receiver ack quorum drained past
+	Blocked     int64 // Send calls that stalled on a full window
+	Outstanding int   // positions sent but not yet acked
+	Capacity    int   // current effective window capacity
+}
+
+// FlowControlled is implemented by sender endpoints whose effective
+// window capacity can be resized at runtime (IRMC-RC). IRMC-SC's
+// collector protocol sizes its window from certificate progress and
+// does not implement it — callers type-assert and skip, exactly as
+// they do for Config.Resend.
+type FlowControlled interface {
+	FlowStats(sc ids.Subchannel) FlowStats
+	SetCapacity(sc ids.Subchannel, n int)
+}
+
 // KHighest returns the k-th highest position in values (k >= 1).
 // Missing peers count as position 1 (the initial window start). It is
 // the primitive behind the fr+1-highest / fs+1-highest window rules:

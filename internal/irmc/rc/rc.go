@@ -39,6 +39,14 @@ type senderSub struct {
 	// be re-sent verbatim to any receiver that missed the original
 	// multicast.
 	retained map[ids.Position][]byte
+	// Flow instrumentation for window auto-sizing (read via FlowStats):
+	// acked counts positions the fr+1 receiver quorum has drained past
+	// (window-start advances), blocked counts Send calls that had to
+	// wait on a full window, highSent is the highest position handed to
+	// Send. Plain counters under s.mu — the hot path already holds it.
+	acked    int64
+	blocked  int64
+	highSent ids.Position
 }
 
 var _ irmc.Sender = (*Sender)(nil)
@@ -147,6 +155,11 @@ func (s *Sender) sub(sc ids.Subchannel) *senderSub {
 func (s *Sender) Send(sc ids.Subchannel, p ids.Position, msg []byte) error {
 	s.mu.Lock()
 	sub := s.sub(sc)
+	if !s.closed && p > sub.win.Max() {
+		// A window-full stall is the auto-sizer's grow signal: the
+		// round-trip to the fr+1 ack quorum is serializing sends.
+		sub.blocked++
+	}
 	for !s.closed && p > sub.win.Max() {
 		s.cond.Wait()
 		sub = s.sub(sc)
@@ -159,6 +172,9 @@ func (s *Sender) Send(sc ids.Subchannel, p ids.Position, msg []byte) error {
 		start := sub.win.Start
 		s.mu.Unlock()
 		return &irmc.TooOldError{NewStart: start}
+	}
+	if p > sub.highSent {
+		sub.highSent = p
 	}
 	s.mu.Unlock()
 
@@ -253,12 +269,64 @@ func (s *Sender) onReceiverMove(from ids.NodeID, move *irmc.MoveMsg) {
 	// The sender trusts the (fr+1)-highest announced start: at least
 	// one correct receiver endorsed moving that far.
 	newStart := irmc.KHighest(sub.recvWins, s.cfg.Receivers.Members, s.cfg.Receivers.F+1)
+	oldStart := sub.win.Start
 	if sub.win.Advance(newStart) {
+		// Every position the start moved past has been acknowledged by
+		// the receiver quorum: the drain-rate input of window
+		// auto-sizing.
+		sub.acked += int64(sub.win.Start - oldStart)
 		for p := range sub.retained {
 			if p < sub.win.Start {
 				delete(sub.retained, p)
 			}
 		}
+		s.cond.Broadcast()
+	}
+}
+
+// FlowStats reports the subchannel's cumulative flow counters and
+// current window occupancy, the inputs of adaptive window sizing.
+func (s *Sender) FlowStats(sc ids.Subchannel) irmc.FlowStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub := s.sub(sc)
+	out := irmc.FlowStats{
+		Acked:    sub.acked,
+		Blocked:  sub.blocked,
+		Capacity: sub.win.Capacity,
+	}
+	if sub.highSent >= sub.win.Start {
+		out.Outstanding = int(sub.highSent - sub.win.Start + 1)
+	}
+	return out
+}
+
+// SetCapacity throttles the subchannel's effective send window to n
+// positions, clamped to [1, Config.Capacity]. This is a sender-local
+// decision — receivers keep their configured capacity and a smaller
+// sender window is always inside it, so the Move/ack protocol, fs+1
+// matching and Resend repair are untouched; shrinking simply makes
+// Send block earlier, bounding in-flight memory, and the auto-sizer
+// never shrinks below the positions currently outstanding.
+func (s *Sender) SetCapacity(sc ids.Subchannel, n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cfg.Capacity {
+		n = s.cfg.Capacity
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	sub := s.sub(sc)
+	if n == sub.win.Capacity {
+		return
+	}
+	grew := n > sub.win.Capacity
+	sub.win.Capacity = n
+	if grew {
 		s.cond.Broadcast()
 	}
 }
@@ -283,9 +351,13 @@ func (s *Sender) onResend(from ids.NodeID, m *irmc.ResendMsg) {
 	if lo < sub.win.Start {
 		lo = sub.win.Start
 	}
+	// Walk the retained map itself rather than [lo, win.Max()]: every
+	// retained entry is in-window by construction (pruned on advance),
+	// and an adaptively shrunk effective capacity must not hide
+	// positions sent while the window was wider.
 	var envs [][]byte
-	for p := lo; p <= sub.win.Max(); p++ {
-		if env, ok := sub.retained[p]; ok {
+	for p, env := range sub.retained {
+		if p >= lo {
 			envs = append(envs, env)
 		}
 	}

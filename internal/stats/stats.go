@@ -376,6 +376,174 @@ func (o *Occupancy) Reset() {
 	o.mu.Unlock()
 }
 
+// rateBuckets is the sliding-window resolution of a Rate recorder:
+// the window is divided into this many equal buckets, so the reported
+// rate forgets old events with a granularity of window/rateBuckets.
+const rateBuckets = 16
+
+// rateEpoch anchors every Rate recorder's bucket grid to one shared
+// monotonic origin, so per-shard recorders created at different times
+// still bucket the same instant into the same tick and Merge adds
+// aligned buckets instead of smearing events across the window.
+var rateEpoch = time.Now()
+
+// Rate measures events per second over a sliding window on the
+// monotonic clock (wall-clock jumps cannot distort it: time.Time
+// subtraction prefers the monotonic reading). It is the offered-load
+// input of the adaptive batching controller, and is mergeable like
+// Occupancy so sharded deployments can aggregate per-shard recorders
+// exactly once at read time. Safe for concurrent use.
+type Rate struct {
+	mu       sync.Mutex
+	window   time.Duration
+	width    time.Duration // window / rateBuckets
+	buckets  [rateBuckets]int64
+	lastTick int64
+	started  bool
+	total    int64
+}
+
+// NewRate returns a rate recorder averaging over the given window.
+// Windows shorter than rateBuckets nanoseconds are rounded up so every
+// bucket covers at least one nanosecond.
+func NewRate(window time.Duration) *Rate {
+	if window < rateBuckets {
+		window = rateBuckets
+	}
+	return &Rate{window: window, width: window / rateBuckets}
+}
+
+// tick maps an instant onto the shared bucket grid. Floor division
+// keeps instants before the epoch (injected test clocks) on a
+// consistent grid instead of collapsing ticks -1 and 0 together.
+func (r *Rate) tick(now time.Time) int64 {
+	d := int64(now.Sub(rateEpoch))
+	w := int64(r.width)
+	t := d / w
+	if d%w < 0 {
+		t--
+	}
+	return t
+}
+
+// advanceLocked rotates the ring forward to tick t, zeroing every
+// bucket whose interval has fully left the window.
+func (r *Rate) advanceLocked(t int64) {
+	if !r.started {
+		r.started = true
+		r.lastTick = t
+		return
+	}
+	if t <= r.lastTick {
+		return // stale or same-tick observation: keep the newer grid position
+	}
+	steps := t - r.lastTick
+	if steps > rateBuckets {
+		steps = rateBuckets
+	}
+	for i := int64(1); i <= steps; i++ {
+		r.buckets[((r.lastTick+i)%rateBuckets+rateBuckets)%rateBuckets] = 0
+	}
+	r.lastTick = t
+}
+
+// Record counts n events now.
+func (r *Rate) Record(n int) { r.RecordAt(time.Now(), n) }
+
+// RecordAt is Record with an injected clock, for tests.
+func (r *Rate) RecordAt(now time.Time, n int) {
+	if n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	t := r.tick(now)
+	r.advanceLocked(t)
+	idx := (t%rateBuckets + rateBuckets) % rateBuckets
+	if t > r.lastTick-rateBuckets { // not already aged out of the window
+		r.buckets[idx] += int64(n)
+	}
+	r.total += int64(n)
+	r.mu.Unlock()
+}
+
+// PerSecond returns the event rate over the trailing window.
+func (r *Rate) PerSecond() float64 { return r.PerSecondAt(time.Now()) }
+
+// PerSecondAt is PerSecond with an injected clock, for tests.
+func (r *Rate) PerSecondAt(now time.Time) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advanceLocked(r.tick(now))
+	var sum int64
+	for _, b := range r.buckets {
+		sum += b
+	}
+	return float64(sum) / r.window.Seconds()
+}
+
+// Total returns the all-time event count, independent of the window.
+func (r *Rate) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Merge folds src's window contents and total into r. Both recorders
+// share the process-wide bucket grid, so in-window events land in the
+// bucket covering the instant they were recorded at; recorders with
+// different window sizes cannot align and src's in-window events are
+// folded into r's bucket at src's newest tick instead. Each event is
+// added exactly once per call, mirroring Occupancy.Merge.
+func (r *Rate) Merge(src *Rate) {
+	if src == nil || src == r {
+		return
+	}
+	src.mu.Lock()
+	buckets := src.buckets
+	lastTick, started := src.lastTick, src.started
+	total := src.total
+	width := src.width
+	src.mu.Unlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total += total
+	if !started {
+		return
+	}
+	if width != r.width {
+		var sum int64
+		for _, b := range buckets {
+			sum += b
+		}
+		if !r.started {
+			r.started, r.lastTick = true, lastTick
+		}
+		r.buckets[(r.lastTick%rateBuckets+rateBuckets)%rateBuckets] += sum
+		return
+	}
+	r.advanceLocked(lastTick)
+	// src's ring holds ticks (lastTick-rateBuckets, lastTick]; copy the
+	// ones still inside r's window.
+	for t := lastTick - rateBuckets + 1; t <= lastTick; t++ {
+		if t <= r.lastTick-rateBuckets {
+			continue
+		}
+		idx := (t%rateBuckets + rateBuckets) % rateBuckets
+		r.buckets[idx] += buckets[idx]
+	}
+}
+
+// Reset discards the window contents and the all-time total.
+func (r *Rate) Reset() {
+	r.mu.Lock()
+	r.buckets = [rateBuckets]int64{}
+	r.started = false
+	r.lastTick = 0
+	r.total = 0
+	r.mu.Unlock()
+}
+
 // CPUMeter accumulates wall-clock time spent inside instrumented code
 // sections. Dividing the accumulated busy time by the experiment
 // duration approximates the CPU utilisation a dedicated machine would

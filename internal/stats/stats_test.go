@@ -261,3 +261,110 @@ func TestLogGate(t *testing.T) {
 		t.Fatal("wall-clock Allow blocked (last grant is in 1970)")
 	}
 }
+
+func TestRateSlidingWindow(t *testing.T) {
+	r := NewRate(time.Second)
+	base := rateEpoch.Add(time.Hour) // align tests on the shared grid
+	r.RecordAt(base, 100)
+	if got := r.PerSecondAt(base); got != 100 {
+		t.Fatalf("rate immediately after 100 events = %v, want 100", got)
+	}
+	// Half a window later the events are still inside the window.
+	if got := r.PerSecondAt(base.Add(500 * time.Millisecond)); got != 100 {
+		t.Fatalf("rate after half a window = %v, want 100", got)
+	}
+	// Strictly past a full window they have fully aged out.
+	if got := r.PerSecondAt(base.Add(1100 * time.Millisecond)); got != 0 {
+		t.Fatalf("rate after the window elapsed = %v, want 0", got)
+	}
+	if r.Total() != 100 {
+		t.Fatalf("total = %d, want 100", r.Total())
+	}
+}
+
+func TestRateSteadyLoad(t *testing.T) {
+	r := NewRate(time.Second)
+	base := rateEpoch.Add(time.Hour)
+	// 10 events every 100ms for 2 seconds = 100/s steady state.
+	for i := 0; i < 20; i++ {
+		r.RecordAt(base.Add(time.Duration(i)*100*time.Millisecond), 10)
+	}
+	got := r.PerSecondAt(base.Add(2 * time.Second))
+	if got < 80 || got > 120 {
+		t.Fatalf("steady 100/s load reported as %v/s", got)
+	}
+}
+
+func TestRateMergeExactlyOnce(t *testing.T) {
+	base := rateEpoch.Add(time.Hour)
+	shards := []*Rate{NewRate(time.Second), NewRate(time.Second)}
+	shards[0].RecordAt(base, 30)
+	shards[1].RecordAt(base.Add(100*time.Millisecond), 70)
+
+	merged := NewRate(time.Second)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if got := merged.PerSecondAt(base.Add(200 * time.Millisecond)); got != 100 {
+		t.Fatalf("merged rate = %v, want 100", got)
+	}
+	if merged.Total() != 100 {
+		t.Fatalf("merged total = %d, want 100", merged.Total())
+	}
+	// Sources are untouched: a second aggregation pass still counts
+	// every event exactly once.
+	merged2 := NewRate(time.Second)
+	for _, s := range shards {
+		merged2.Merge(s)
+	}
+	if merged2.Total() != 100 {
+		t.Fatalf("second merge total = %d, want 100 (events double- or un-counted)", merged2.Total())
+	}
+}
+
+func TestRateMergeDropsAgedBuckets(t *testing.T) {
+	base := rateEpoch.Add(time.Hour)
+	old := NewRate(time.Second)
+	old.RecordAt(base, 50)
+	fresh := NewRate(time.Second)
+	fresh.RecordAt(base.Add(3*time.Second), 20)
+	fresh.Merge(old) // old's window ended 2s before fresh's newest tick
+	if got := fresh.PerSecondAt(base.Add(3 * time.Second)); got != 20 {
+		t.Fatalf("merged rate = %v, want 20 (aged-out source buckets leaked in)", got)
+	}
+	if fresh.Total() != 70 {
+		t.Fatalf("merged total = %d, want 70", fresh.Total())
+	}
+}
+
+func TestRateReset(t *testing.T) {
+	r := NewRate(time.Second)
+	base := rateEpoch.Add(time.Hour)
+	r.RecordAt(base, 10)
+	r.Reset()
+	if got := r.PerSecondAt(base); got != 0 {
+		t.Fatalf("rate after reset = %v", got)
+	}
+	if r.Total() != 0 {
+		t.Fatalf("total after reset = %d", r.Total())
+	}
+}
+
+func TestRateConcurrent(t *testing.T) {
+	r := NewRate(100 * time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Record(1)
+				_ = r.PerSecond()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("total = %d, want 8000", r.Total())
+	}
+}

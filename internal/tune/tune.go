@@ -1,0 +1,411 @@
+// Package tune closes the loop between measured offered load and the
+// agreement pipeline's static knobs. The paper (Eischer & Distler,
+// Middleware 2020) picks one point on the latency/throughput curve up
+// front — batch size, flush delay, flow-control window capacity — and
+// the PR 3 batch sweep shows how far apart those points sit (1.6k vs
+// 60.5k req/s at batch 1 vs 64). The controllers here adapt those
+// knobs at runtime instead:
+//
+//   - BatchController: AIMD over the leader's batch size and flush
+//     delay. Saturated load (a standing backlog after proposals) adds
+//     a bounded increment per adjustment interval; a draining queue
+//     halves the batch. Flush delay follows the batch level linearly,
+//     so trickle load converges to batch 1 with a near-zero delay
+//     (latency mode) and saturation converges to the configured caps
+//     (throughput mode).
+//   - WindowController: AIMD over an IRMC subchannel's effective
+//     sender window. Sends blocked on a full window add capacity;
+//     sustained low utilisation multiplicatively shrinks it, keeping
+//     in-flight memory bounded at low load without letting the WAN
+//     round-trip serialize batches at high load.
+//
+// Both controllers take explicit timestamps (the LogGate.AllowAt
+// pattern), so convergence is pinned by deterministic-clock unit
+// tests, and both change their output by at most one bounded step per
+// interval (a reverted probe returns to the exact point it started
+// from), so oscillating load cannot make the pipeline thrash.
+// Neither is safe for concurrent use on its own: BatchController is
+// called under the pbft replica's lock, WindowController from a
+// single sampling goroutine.
+package tune
+
+import (
+	"time"
+
+	"spider/internal/stats"
+)
+
+// BatchConfig bounds the batch controller. The Max values are the
+// deployment's static knobs reinterpreted as caps: an adaptive
+// deployment configured with BatchSize 64 / BatchDelay 1ms swings
+// within [MinBatch,64] and [MinDelay,1ms].
+type BatchConfig struct {
+	MinBatch int           // floor for the batch size (default 1)
+	MaxBatch int           // cap for the batch size (required, >= MinBatch)
+	MinDelay time.Duration // flush-delay floor (default 0: flush partial batches immediately)
+	MaxDelay time.Duration // flush-delay cap (required)
+	// Interval is the adjustment period: at most one AIMD step per
+	// Interval regardless of how often observations arrive (default
+	// 10ms — a handful of consensus round-trips).
+	Interval time.Duration
+	// Step is the additive batch increment applied per saturated
+	// interval (default max(1, MaxBatch/8)).
+	Step int
+	// Alpha is the EWMA smoothing factor for the occupancy and
+	// backlog signals in (0,1]; higher reacts faster (default 0.4).
+	Alpha float64
+	// ProbeEvery is how many consecutive steady intervals (no AIMD
+	// step fired) with full batches arm one upward probe (default 8).
+	// Probing escapes closed-loop equilibria where the backlog signal
+	// vanishes below the cap: requests circulate in delivery-sized
+	// bursts that mirror whatever target is set, so only trying a
+	// bigger batch and measuring the result can tell whether the
+	// pipeline had more to give. A probe that does not improve the
+	// observed arrival rate (in a closed loop: the delivered rate) is
+	// reverted one interval later; in an open loop a kept probe is
+	// load-neutral and the occupancy shrink rule corrects oversizing.
+	ProbeEvery int
+	// Rate optionally receives every observed arrival, giving
+	// deployments a windowed offered-load figure (req/s) for free.
+	Rate *stats.Rate
+}
+
+func (c *BatchConfig) applyDefaults() {
+	if c.MinBatch <= 0 {
+		c.MinBatch = 1
+	}
+	if c.MaxBatch < c.MinBatch {
+		c.MaxBatch = c.MinBatch
+	}
+	if c.MinDelay < 0 {
+		c.MinDelay = 0
+	}
+	if c.MaxDelay < c.MinDelay {
+		c.MaxDelay = c.MinDelay
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.Step <= 0 {
+		c.Step = c.MaxBatch / 8
+		if c.Step < 1 {
+			c.Step = 1
+		}
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.4
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 8
+	}
+}
+
+// BatchController adapts the leader's batch size and flush delay to
+// measured offered load. The pbft replica calls ObserveArrival on
+// request admission and ObservePropose when a batch leaves the queue,
+// both under the replica lock it already holds — the controller adds
+// no locking of its own to the hot path — and reads Batch()/Delay()
+// at take/flush time.
+type BatchController struct {
+	cfg BatchConfig
+
+	batch int
+	delay time.Duration
+
+	// Signals accumulated since the last adjustment.
+	proposals int
+	occSum    int // requests actually taken per proposal
+	backlog   int // queue depth left behind per proposal
+	arrivals  int
+	fullTakes int // proposals that filled the whole current target
+
+	// EWMAs of the per-interval means.
+	occEWMA     float64 // batch fill fraction relative to the current target
+	backlogEWMA float64 // requests still queued after a proposal
+
+	// Probe state: steady counts intervals since the last AIMD step,
+	// probing marks an in-flight probe with its revert point and the
+	// arrival rate it has to beat.
+	steady    int
+	probing   bool
+	probeFrom int
+	probeRate float64
+
+	started    bool
+	lastAdjust time.Time
+}
+
+// NewBatchController returns a controller starting at the batch floor
+// (the latency-optimal point; saturation grows it from below).
+func NewBatchController(cfg BatchConfig) *BatchController {
+	cfg.applyDefaults()
+	c := &BatchController{cfg: cfg, batch: cfg.MinBatch}
+	c.delay = c.delayFor(c.batch)
+	return c
+}
+
+// Batch returns the current batch-size target.
+func (c *BatchController) Batch() int { return c.batch }
+
+// Delay returns the current partial-batch flush delay.
+func (c *BatchController) Delay() time.Duration { return c.delay }
+
+// Reset returns the controller to its initial floor state. The pbft
+// replica calls it when a view change installs: the accumulated
+// signals were sampled under the deposed leader's regime, and a
+// replica that just lost leadership is never fed again — without the
+// reset it would freeze at its last elevated target, misreporting
+// BatchTarget and mis-seeding a later re-election. The new leader
+// ramps from the floor like any fresh one.
+func (c *BatchController) Reset() {
+	c.batch = c.cfg.MinBatch
+	c.delay = c.delayFor(c.batch)
+	c.proposals, c.occSum, c.backlog, c.arrivals, c.fullTakes = 0, 0, 0, 0, 0
+	c.occEWMA, c.backlogEWMA = 0, 0
+	c.steady, c.probing, c.probeFrom, c.probeRate = 0, false, 0, 0
+	c.started = false
+}
+
+// ArrivalRate reports the windowed offered load in req/s, or 0 if no
+// Rate recorder is attached.
+func (c *BatchController) ArrivalRate() float64 {
+	if c.cfg.Rate == nil {
+		return 0
+	}
+	return c.cfg.Rate.PerSecond()
+}
+
+// ObserveArrival counts one admitted request.
+func (c *BatchController) ObserveArrival(now time.Time) {
+	c.arrivals++
+	if c.cfg.Rate != nil {
+		c.cfg.Rate.RecordAt(now, 1)
+	}
+}
+
+// ObservePropose records one proposed batch: took requests left the
+// queue, queued remain behind it. At most once per Interval it folds
+// the accumulated signals into the EWMAs and applies one AIMD step.
+func (c *BatchController) ObservePropose(now time.Time, took, queued int) {
+	c.proposals++
+	c.occSum += took
+	c.backlog += queued
+	if took >= c.batch {
+		c.fullTakes++
+	}
+	if !c.started {
+		c.started = true
+		c.lastAdjust = now
+		return
+	}
+	if now.Sub(c.lastAdjust) < c.cfg.Interval {
+		return
+	}
+	c.adjust()
+	c.lastAdjust = now
+}
+
+// adjust applies at most one bounded AIMD step (or probe move) from
+// the interval's accumulated signals.
+func (c *BatchController) adjust() {
+	if c.proposals == 0 {
+		return
+	}
+	meanOcc := float64(c.occSum) / float64(c.proposals) / float64(c.batch)
+	meanBacklog := float64(c.backlog) / float64(c.proposals)
+	arrivalRate := float64(c.arrivals)
+	fullFrac := float64(c.fullTakes) / float64(c.proposals)
+	a := c.cfg.Alpha
+	c.occEWMA = a*meanOcc + (1-a)*c.occEWMA
+	c.backlogEWMA = a*meanBacklog + (1-a)*c.backlogEWMA
+	c.proposals, c.occSum, c.backlog, c.arrivals, c.fullTakes = 0, 0, 0, 0, 0
+
+	// Resolve an in-flight probe first: keep the bigger batch only on
+	// positive evidence — the arrival rate (the delivered rate, in a
+	// closed loop) clearly improved over the interval before the probe.
+	if c.probing {
+		c.probing = false
+		if arrivalRate <= 0 || arrivalRate < c.probeRate*1.05 {
+			c.batch = c.probeFrom
+		}
+	}
+
+	switch {
+	case c.backlogEWMA >= 1:
+		// Throughput mode: a queue still stands after proposals —
+		// additive increase toward the cap. Residual backlog is only
+		// ever left behind by a take that filled the whole target, so
+		// it already implies full batches; gating growth on occupancy
+		// too would stall the climb, because timer-forced partial
+		// flushes (the residual going out between bursts) drag mean
+		// occupancy into the dead zone while demand still stands.
+		c.steady = 0
+		c.batch += c.cfg.Step
+		if c.batch > c.cfg.MaxBatch {
+			c.batch = c.cfg.MaxBatch
+		}
+	case c.occEWMA < 0.5 && c.backlogEWMA < 1:
+		// Latency mode: the queue drains between proposals — batching
+		// is buying bandwidth nobody needs; multiplicative decrease.
+		c.steady = 0
+		c.batch /= 2
+		if c.batch < c.cfg.MinBatch {
+			c.batch = c.cfg.MinBatch
+		}
+	default:
+		// Steady state. A closed-loop equilibrium can park here below
+		// the cap with batches running full (requests circulate in
+		// delivery-sized bursts that mirror the target, so backlog
+		// never shows): after ProbeEvery steady intervals of full
+		// batches, try one step up and let the next adjustment keep or
+		// revert it on the measured rate.
+		c.steady++
+		if fullFrac >= 0.5 && c.batch < c.cfg.MaxBatch && c.steady >= c.cfg.ProbeEvery {
+			c.steady = 0
+			c.probing = true
+			c.probeFrom = c.batch
+			c.probeRate = arrivalRate
+			c.batch += c.cfg.Step
+			if c.batch > c.cfg.MaxBatch {
+				c.batch = c.cfg.MaxBatch
+			}
+		}
+	}
+	c.delay = c.delayFor(c.batch)
+}
+
+// delayFor maps the batch level linearly onto [MinDelay, MaxDelay]:
+// a small batch target flushes almost immediately, a saturated one
+// waits the full configured delay to fill.
+func (c *BatchController) delayFor(batch int) time.Duration {
+	if c.cfg.MaxBatch == c.cfg.MinBatch {
+		return c.cfg.MaxDelay
+	}
+	frac := float64(batch-c.cfg.MinBatch) / float64(c.cfg.MaxBatch-c.cfg.MinBatch)
+	return c.cfg.MinDelay + time.Duration(frac*float64(c.cfg.MaxDelay-c.cfg.MinDelay))
+}
+
+// WindowConfig bounds the window controller. Max is the deployment's
+// static window capacity reinterpreted as a cap.
+type WindowConfig struct {
+	Min int // capacity floor (default 1)
+	Max int // capacity cap (required, >= Min)
+	// Interval is the sampling/adjustment period (default 50ms — the
+	// commit channel's progress tick).
+	Interval time.Duration
+	// Step is the additive capacity increment per blocked interval
+	// (default max(1, Max/8)).
+	Step int
+	// Alpha is the EWMA smoothing factor for the drain-rate signal
+	// (default 0.4).
+	Alpha float64
+	// ShrinkAfter is how many consecutive underutilised intervals are
+	// required before the window shrinks (default 4): transient idle
+	// gaps between batches must not throttle the next burst.
+	ShrinkAfter int
+}
+
+func (c *WindowConfig) applyDefaults() {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.Step <= 0 {
+		c.Step = c.Max / 8
+		if c.Step < 1 {
+			c.Step = 1
+		}
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.4
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 4
+	}
+}
+
+// WindowController sizes one IRMC subchannel's effective sender
+// window from its measured drain rate. The caller samples the
+// sender's cumulative flow counters once per interval and feeds the
+// deltas to Observe, which returns the capacity to apply.
+type WindowController struct {
+	cfg WindowConfig
+
+	capacity  int
+	drainEWMA float64 // positions acked per interval
+	idle      int     // consecutive underutilised intervals
+
+	started    bool
+	lastAdjust time.Time
+}
+
+// NewWindowController returns a controller starting at the cap: flow
+// control must never throttle a deployment before the controller has
+// seen any load, so it shrinks from above on evidence of slack rather
+// than growing from below on evidence of need.
+func NewWindowController(cfg WindowConfig) *WindowController {
+	cfg.applyDefaults()
+	return &WindowController{cfg: cfg, capacity: cfg.Max}
+}
+
+// Capacity returns the current effective window capacity.
+func (c *WindowController) Capacity() int { return c.capacity }
+
+// DrainRate reports the EWMA of positions acked per interval.
+func (c *WindowController) DrainRate() float64 { return c.drainEWMA }
+
+// Observe folds one sampling interval's counter deltas — positions
+// acked (the subchannel drain), sends that blocked on a full window,
+// and the in-flight position count at sample time — into the
+// controller and returns the capacity to apply. At most one bounded
+// step per Interval.
+func (c *WindowController) Observe(now time.Time, acked, blocked, outstanding int) int {
+	if !c.started {
+		c.started = true
+		c.lastAdjust = now
+		return c.capacity
+	}
+	if now.Sub(c.lastAdjust) < c.cfg.Interval {
+		return c.capacity
+	}
+	c.lastAdjust = now
+
+	a := c.cfg.Alpha
+	c.drainEWMA = a*float64(acked) + (1-a)*c.drainEWMA
+
+	switch {
+	case blocked > 0:
+		// A sender stalled on the window while the subchannel was
+		// draining: the round-trip is serializing batches — additive
+		// increase.
+		c.idle = 0
+		c.capacity += c.cfg.Step
+		if c.capacity > c.cfg.Max {
+			c.capacity = c.cfg.Max
+		}
+	case outstanding*2 < c.capacity && c.drainEWMA < float64(c.cfg.Step):
+		// Sustained slack: nothing waits, little drains. Shrink only
+		// after ShrinkAfter consecutive idle intervals, and never
+		// below what is currently in flight.
+		c.idle++
+		if c.idle >= c.cfg.ShrinkAfter {
+			c.idle = 0
+			next := c.capacity / 2
+			if next < outstanding {
+				next = outstanding
+			}
+			if next < c.cfg.Min {
+				next = c.cfg.Min
+			}
+			c.capacity = next
+		}
+	default:
+		c.idle = 0
+	}
+	return c.capacity
+}

@@ -1,0 +1,318 @@
+package tune
+
+import (
+	"testing"
+	"time"
+
+	"spider/internal/stats"
+)
+
+func batchCfg() BatchConfig {
+	return BatchConfig{
+		MinBatch: 1,
+		MaxBatch: 64,
+		MinDelay: 0,
+		MaxDelay: time.Millisecond,
+		Interval: 10 * time.Millisecond,
+	}
+}
+
+// step advances the clock one full adjustment interval while feeding n
+// proposal observations of the given shape, returning the new clock.
+func step(c *BatchController, now time.Time, n, took, queued int) time.Time {
+	interval := c.cfg.Interval
+	for i := 0; i < n; i++ {
+		c.ObservePropose(now.Add(time.Duration(i)*interval/time.Duration(n+1)), took, queued)
+	}
+	now = now.Add(interval)
+	c.ObservePropose(now, took, queued)
+	return now
+}
+
+func TestBatchControllerSaturatedGrowsToCap(t *testing.T) {
+	c := NewBatchController(batchCfg())
+	if c.Batch() != 1 {
+		t.Fatalf("initial batch = %d, want the floor 1", c.Batch())
+	}
+	now := time.Unix(1000, 0)
+	// Saturated: every proposal takes a full batch and leaves a deep
+	// queue behind.
+	for i := 0; i < 100; i++ {
+		now = step(c, now, 4, c.Batch(), 200)
+	}
+	if c.Batch() != 64 {
+		t.Fatalf("batch after sustained saturation = %d, want the cap 64", c.Batch())
+	}
+	if c.Delay() != time.Millisecond {
+		t.Fatalf("delay at the cap = %v, want the configured max 1ms", c.Delay())
+	}
+}
+
+func TestBatchControllerTrickleCollapsesDelay(t *testing.T) {
+	cfg := batchCfg()
+	cfg.MinDelay = 10 * time.Microsecond
+	c := NewBatchController(cfg)
+	now := time.Unix(1000, 0)
+	// Drive it to the cap first so the collapse is observable.
+	for i := 0; i < 100; i++ {
+		now = step(c, now, 4, c.Batch(), 200)
+	}
+	if c.Batch() != 64 {
+		t.Fatalf("setup: batch = %d, want 64", c.Batch())
+	}
+	// Trickle: single-request flushes, queue always drains.
+	for i := 0; i < 100; i++ {
+		now = step(c, now, 2, 1, 0)
+	}
+	if c.Batch() != 1 {
+		t.Fatalf("batch under trickle load = %d, want the floor 1", c.Batch())
+	}
+	if c.Delay() != cfg.MinDelay {
+		t.Fatalf("delay under trickle load = %v, want the floor %v", c.Delay(), cfg.MinDelay)
+	}
+}
+
+// TestBatchControllerResetReturnsToFloor pins the view-change hook:
+// a deposed leader's controller is never fed again, so Reset must
+// drop it back to the exact initial floor state — target, delay, and
+// the accumulated signals — rather than leaving a stale elevated
+// target behind.
+func TestBatchControllerResetReturnsToFloor(t *testing.T) {
+	cfg := batchCfg()
+	cfg.MinDelay = 10 * time.Microsecond
+	c := NewBatchController(cfg)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		now = step(c, now, 4, c.Batch(), 200)
+	}
+	if c.Batch() != 64 {
+		t.Fatalf("setup: batch = %d, want the cap 64", c.Batch())
+	}
+	c.Reset()
+	if c.Batch() != 1 {
+		t.Fatalf("batch after Reset = %d, want the floor 1", c.Batch())
+	}
+	if c.Delay() != cfg.MinDelay {
+		t.Fatalf("delay after Reset = %v, want the floor %v", c.Delay(), cfg.MinDelay)
+	}
+	// The EWMAs must be gone too: a fresh trickle after Reset must not
+	// inherit the saturated history (a grow step off stale backlog).
+	now = step(c, now, 2, 1, 0)
+	now = step(c, now, 2, 1, 0)
+	if c.Batch() != 1 {
+		t.Fatalf("batch after Reset under trickle = %d, want 1 (stale EWMAs leaked)", c.Batch())
+	}
+	_ = now
+}
+
+// TestBatchControllerBoundedStep pins the anti-thrash contract:
+// regardless of how violently the load oscillates, the batch target
+// moves at most once per interval, by at most Step upward or a halving
+// downward.
+func TestBatchControllerBoundedStep(t *testing.T) {
+	cfg := batchCfg()
+	c := NewBatchController(cfg)
+	now := time.Unix(1000, 0)
+	prev := c.Batch()
+	maxUp := cfg.MaxBatch / 8
+	for i := 0; i < 200; i++ {
+		saturated := i%2 == 0
+		// Many observations inside one interval: only the interval
+		// boundary may change the target.
+		interval := c.cfg.Interval
+		for j := 0; j < 10; j++ {
+			at := now.Add(time.Duration(j) * interval / 12)
+			if saturated {
+				c.ObservePropose(at, c.Batch(), 500)
+			} else {
+				c.ObservePropose(at, 1, 0)
+			}
+			if j < 9 && c.Batch() != prev {
+				t.Fatalf("iter %d: batch changed mid-interval %d -> %d", i, prev, c.Batch())
+			}
+			prev = c.Batch()
+		}
+		now = now.Add(interval)
+		c.ObservePropose(now, 1, 0)
+		got := c.Batch()
+		if got > prev+maxUp {
+			t.Fatalf("iter %d: batch jumped %d -> %d (> +%d per interval)", i, prev, got, maxUp)
+		}
+		if got < prev/2 {
+			t.Fatalf("iter %d: batch collapsed %d -> %d (> halving per interval)", i, prev, got)
+		}
+		if got < cfg.MinBatch || got > cfg.MaxBatch {
+			t.Fatalf("iter %d: batch %d escaped [%d,%d]", i, got, cfg.MinBatch, cfg.MaxBatch)
+		}
+		prev = got
+	}
+}
+
+// TestBatchControllerProbeEscapesClosedLoopEquilibrium: in a closed
+// loop, requests circulate in delivery-sized bursts that mirror the
+// current target, so batches run full yet no backlog ever stands and
+// plain AIMD parks below the cap. The probe path must climb anyway
+// when each kept step demonstrably raises the measured rate.
+func TestBatchControllerProbeEscapesClosedLoopEquilibrium(t *testing.T) {
+	c := NewBatchController(batchCfg())
+	now := time.Unix(1000, 0)
+	// Closed-loop model: full takes, zero residual, and a delivered
+	// rate proportional to the batch size (bigger batches amortize a
+	// fixed per-batch cost).
+	interval := func() {
+		for i := 0; i < 10*c.Batch(); i++ {
+			c.ObserveArrival(now)
+		}
+		now = step(c, now, 4, c.Batch(), 0)
+	}
+	for i := 0; i < 200 && c.Batch() < 64; i++ {
+		interval()
+	}
+	if c.Batch() != 64 {
+		t.Fatalf("batch = %d after 200 closed-loop intervals, want the cap 64 (probing stalled)", c.Batch())
+	}
+	// At the cap the probe has nowhere to go; the target must hold.
+	for i := 0; i < 50; i++ {
+		interval()
+	}
+	if c.Batch() != 64 {
+		t.Fatalf("batch drifted off the cap to %d", c.Batch())
+	}
+}
+
+// TestBatchControllerProbeRevertsWithoutImprovement: when a trial step
+// up does not raise the measured rate (low offered load — a bigger
+// batch buys nothing), the controller returns to the exact target it
+// probed from instead of ratcheting upward.
+func TestBatchControllerProbeRevertsWithoutImprovement(t *testing.T) {
+	c := NewBatchController(batchCfg())
+	now := time.Unix(1000, 0)
+	everAbove := false
+	for i := 0; i < 100; i++ {
+		// Constant 10 arrivals per interval no matter the target.
+		for j := 0; j < 10; j++ {
+			c.ObserveArrival(now)
+		}
+		now = step(c, now, 2, 1, 0)
+		if c.Batch() > 1 {
+			everAbove = true
+			if c.Batch() != 1+c.cfg.Step {
+				t.Fatalf("iter %d: probe overshot to %d, want %d", i, c.Batch(), 1+c.cfg.Step)
+			}
+			// The very next adjustment must revert it.
+			for j := 0; j < 10; j++ {
+				c.ObserveArrival(now)
+			}
+			now = step(c, now, 2, 1, 0)
+			if c.Batch() != 1 {
+				t.Fatalf("iter %d: unimproving probe kept (batch %d)", i, c.Batch())
+			}
+		}
+	}
+	if !everAbove {
+		t.Fatal("probe never fired under steady full batches")
+	}
+}
+
+func TestBatchControllerArrivalRate(t *testing.T) {
+	cfg := batchCfg()
+	cfg.Rate = stats.NewRate(time.Second)
+	c := NewBatchController(cfg)
+	now := time.Now()
+	for i := 0; i < 500; i++ {
+		c.ObserveArrival(now)
+	}
+	if got := c.ArrivalRate(); got != 500 {
+		t.Fatalf("arrival rate = %v, want 500", got)
+	}
+	if NewBatchController(batchCfg()).ArrivalRate() != 0 {
+		t.Fatal("detached controller reports a nonzero arrival rate")
+	}
+}
+
+func TestBatchControllerDefaults(t *testing.T) {
+	c := NewBatchController(BatchConfig{MaxBatch: 16, MaxDelay: time.Millisecond})
+	if c.cfg.MinBatch != 1 || c.cfg.Interval != 10*time.Millisecond || c.cfg.Step != 2 {
+		t.Fatalf("defaults: %+v", c.cfg)
+	}
+	// Degenerate fixed-size config stays pinned.
+	fixed := NewBatchController(BatchConfig{MinBatch: 8, MaxBatch: 8, MaxDelay: time.Millisecond})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 20; i++ {
+		now = step(fixed, now, 2, 8, 100)
+	}
+	if fixed.Batch() != 8 || fixed.Delay() != time.Millisecond {
+		t.Fatalf("fixed config drifted: batch=%d delay=%v", fixed.Batch(), fixed.Delay())
+	}
+}
+
+func windowCfg() WindowConfig {
+	return WindowConfig{Min: 4, Max: 64, Interval: 50 * time.Millisecond}
+}
+
+func TestWindowControllerGrowsWhenBlocked(t *testing.T) {
+	cfg := windowCfg()
+	c := NewWindowController(cfg)
+	if c.Capacity() != 64 {
+		t.Fatalf("initial capacity = %d, want the cap (never throttle before evidence)", c.Capacity())
+	}
+	now := time.Unix(1000, 0)
+	// Shrink it to the floor first, then prove blocked sends grow it.
+	for i := 0; i < 100 && c.Capacity() > cfg.Min; i++ {
+		now = now.Add(cfg.Interval)
+		c.Observe(now, 0, 0, 0)
+	}
+	if c.Capacity() != cfg.Min {
+		t.Fatalf("capacity after sustained idle = %d, want the floor %d", c.Capacity(), cfg.Min)
+	}
+	for i := 0; i < 100 && c.Capacity() < cfg.Max; i++ {
+		now = now.Add(cfg.Interval)
+		c.Observe(now, 20, 3, c.Capacity())
+	}
+	if c.Capacity() != cfg.Max {
+		t.Fatalf("capacity under blocked sends = %d, want the cap %d", c.Capacity(), cfg.Max)
+	}
+}
+
+func TestWindowControllerNeverShrinksBelowOutstanding(t *testing.T) {
+	cfg := windowCfg()
+	c := NewWindowController(cfg)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		now = now.Add(cfg.Interval)
+		c.Observe(now, 0, 0, 9)
+	}
+	if c.Capacity() < 9 {
+		t.Fatalf("capacity %d shrank below the 9 in-flight positions", c.Capacity())
+	}
+}
+
+// TestWindowControllerBoundedStep pins anti-thrash for the window:
+// one bounded move per interval, mid-interval samples change nothing.
+func TestWindowControllerBoundedStep(t *testing.T) {
+	cfg := windowCfg()
+	c := NewWindowController(cfg)
+	now := time.Unix(1000, 0)
+	prev := c.Capacity()
+	for i := 0; i < 200; i++ {
+		blocked := 0
+		if i%2 == 0 {
+			blocked = 5
+		}
+		if got := c.Observe(now.Add(cfg.Interval/2), 1, blocked, 1); got != prev {
+			t.Fatalf("iter %d: capacity changed mid-interval %d -> %d", i, prev, got)
+		}
+		now = now.Add(cfg.Interval)
+		got := c.Observe(now, 1, blocked, 1)
+		if got > prev+cfg.Max/8 {
+			t.Fatalf("iter %d: capacity jumped %d -> %d", i, prev, got)
+		}
+		if got < prev/2 {
+			t.Fatalf("iter %d: capacity collapsed %d -> %d", i, prev, got)
+		}
+		if got < cfg.Min || got > cfg.Max {
+			t.Fatalf("iter %d: capacity %d escaped [%d,%d]", i, got, cfg.Min, cfg.Max)
+		}
+		prev = got
+	}
+}

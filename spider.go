@@ -191,6 +191,17 @@ type LocalClusterOptions struct {
 	// deployment). Clients route each operation to the session owning
 	// its key; see ShardMap for the key-to-shard function.
 	Shards int
+
+	// AdaptiveBatching enables the closed-loop controller that adapts
+	// the leader's batch size and flush delay to the measured offered
+	// load (ROADMAP item 4). Off by default: the static ConsensusBatch
+	// knobs apply unchanged.
+	AdaptiveBatching bool
+
+	// AdaptiveWindows auto-sizes the commit-channel flow-control
+	// windows from the measured drain rate of each execution group.
+	// Sender-local only — no wire change — and off by default.
+	AdaptiveWindows bool
 }
 
 // LocalCluster is a complete Spider deployment running in-process.
@@ -210,15 +221,17 @@ func NewLocalCluster(opts LocalClusterOptions) (*LocalCluster, error) {
 		channel = core.ChannelSC
 	}
 	cluster, err := harness.Build(harness.BuildOptions{
-		System:          harness.SystemSpider,
-		F:               opts.F,
-		Regions:         opts.Regions,
-		ExtraRegions:    opts.ExtraRegions,
-		AgreementRegion: opts.AgreementRegion,
-		Scale:           opts.LatencyScale,
-		SuiteKind:       suite,
-		Channel:         channel,
-		Shards:          opts.Shards,
+		System:           harness.SystemSpider,
+		F:                opts.F,
+		Regions:          opts.Regions,
+		ExtraRegions:     opts.ExtraRegions,
+		AgreementRegion:  opts.AgreementRegion,
+		Scale:            opts.LatencyScale,
+		SuiteKind:        suite,
+		Channel:          channel,
+		Shards:           opts.Shards,
+		AdaptiveBatching: opts.AdaptiveBatching,
+		AdaptiveWindows:  opts.AdaptiveWindows,
 	})
 	if err != nil {
 		return nil, err
