@@ -35,19 +35,21 @@ race:
 	$(GO) test -race ./internal/crypto/ ./internal/consensus/pbft/ ./internal/core/ ./internal/irmc/... ./internal/harness/ ./internal/tune/ ./internal/stats/
 
 ## soak: the chaos scenario matrix — crash/restart, partition-and-heal,
-## leader churn — under the race detector, with the continuous
-## invariant checks (no divergent replies, no stalled commit
-## subchannel, per-key linearizability). Failing runs drop a JSON
-## artifact (seed + event timeline + violations) under
-## internal/chaos/chaos-artifacts/ for replay. Scheduled CI runs this;
-## it is deliberately not part of `make check`.
+## leader churn, and the gray-failure scenarios (slow leader rotated,
+## slow follower left alone, degrade/restore timeline) — under the race
+## detector, with the continuous invariant checks (no divergent
+## replies, no stalled commit subchannel, per-key linearizability).
+## Failing runs drop a JSON artifact (seed + event timeline + rotation
+## counters + violations) under internal/chaos/chaos-artifacts/ for
+## replay. Scheduled CI runs this; it is deliberately not part of
+## `make check`.
 soak:
-	$(GO) test -race -count=1 -timeout 30m -v -run 'TestChaos|TestPartitionHeal|TestWarmRestart' ./internal/chaos/
+	$(GO) test -race -count=1 -timeout 30m -v -run 'TestChaos|TestPartitionHeal|TestWarmRestart|TestSlow' ./internal/chaos/
 
 ## soak-smoke: the same scenario matrix once, without the race
 ## detector — fast enough to run on every push.
 soak-smoke:
-	$(GO) test -count=1 -timeout 10m -run 'TestChaos|TestPartitionHeal|TestWarmRestart' ./internal/chaos/
+	$(GO) test -count=1 -timeout 10m -run 'TestChaos|TestPartitionHeal|TestWarmRestart|TestSlow' ./internal/chaos/
 
 ## fuzz-seeds: run the wire-codec fuzz targets over their seed corpus
 ## only (no fuzzing engine) — fast enough for every CI run.

@@ -26,6 +26,12 @@ const (
 	EventHeal       EventKind = "heal"        // remove the partition
 	EventKillLeader EventKind = "kill-leader" // crash the current consensus leader
 	EventSurge      EventKind = "surge"       // add Clients more load clients per region
+
+	// Gray-failure actions: the node stays up and answers everything,
+	// just slowly — the failure mode crash detectors miss.
+	EventDegrade       EventKind = "degrade"        // slow the node's outbound frames by Delay
+	EventDegradeLeader EventKind = "degrade-leader" // degrade the current consensus leader
+	EventRestore       EventKind = "restore"        // lift a degrade
 )
 
 // Event is one step of a scenario timeline. At is the offset from the
@@ -33,9 +39,11 @@ const (
 type Event struct {
 	At      time.Duration
 	Kind    EventKind
-	Node    ids.NodeID    // Crash / Restart
+	Node    ids.NodeID    // Crash / Restart / Degrade / Restore
 	Regions []topo.Region // Partition
 	Clients int           // Surge: extra clients per load region
+	Delay   time.Duration // Degrade: extra outbound one-way delay
+	Jitter  float64       // Degrade: random extra fraction of total delay
 }
 
 // AppliedEvent records an executed event for the failure artifact.
@@ -96,6 +104,13 @@ type Options struct {
 	ProbeInterval time.Duration
 }
 
+// ViewRate is one consensus view's delivery throughput, recorded for
+// the failure artifact.
+type ViewRate struct {
+	View   uint64  `json:"view"`
+	PerSec float64 `json:"per_sec"`
+}
+
 // Report is the outcome of a scenario run.
 type Report struct {
 	Name       string              `json:"name"`
@@ -104,7 +119,15 @@ type Report struct {
 	Violations []string            `json:"violations"`
 	Ops        int                 `json:"ops"`
 	Probes     []harness.ExecProbe `json:"probes"`
-	Artifact   string              `json:"-"`
+	// Gray-failure defense counters of the shard-0 agreement session:
+	// total view changes entered, how many were proactive slow-leader
+	// rotations (with the monitor's reasons), and per-view delivery
+	// throughput when the monitor recorded it.
+	ViewChanges     uint64     `json:"view_changes"`
+	Rotations       uint64     `json:"rotations"`
+	RotationReasons []string   `json:"rotation_reasons,omitempty"`
+	ViewRates       []ViewRate `json:"view_rates,omitempty"`
+	Artifact        string     `json:"-"`
 }
 
 // Runner drives one scenario against a cluster. Methods are safe to
@@ -227,6 +250,34 @@ func (r *Runner) KillLeader() (ids.NodeID, error) {
 	return id, nil
 }
 
+// Degrade turns the node into a gray performer: outbound frames are
+// delayed by roughly delay (± jitter fraction), nothing is dropped,
+// and the node keeps participating in the protocol.
+func (r *Runner) Degrade(id ids.NodeID, delay time.Duration, jitter float64) {
+	r.c.DegradeNode(id, delay, jitter)
+	r.note(AppliedEvent{Kind: EventDegrade, Node: id,
+		Note: fmt.Sprintf("+%v outbound delay", delay)})
+}
+
+// DegradeLeader degrades the node the agreement group currently
+// follows — the scenario the leader performance monitor exists for.
+func (r *Runner) DegradeLeader(delay time.Duration, jitter float64) (ids.NodeID, error) {
+	id, ok := r.c.AgreementLeader()
+	if !ok {
+		return 0, fmt.Errorf("chaos: no agreement leader visible")
+	}
+	r.c.DegradeNode(id, delay, jitter)
+	r.note(AppliedEvent{Kind: EventDegradeLeader, Node: id,
+		Note: fmt.Sprintf("leader was node %d, +%v outbound delay", id, delay)})
+	return id, nil
+}
+
+// RestoreNode lifts a degrade.
+func (r *Runner) RestoreNode(id ids.NodeID) {
+	r.c.RestoreNode(id)
+	r.note(AppliedEvent{Kind: EventRestore, Node: id})
+}
+
 // Play executes a sorted timeline, sleeping between event offsets.
 func (r *Runner) Play(events []Event, load Load) error {
 	for _, ev := range events {
@@ -245,6 +296,12 @@ func (r *Runner) Play(events []Event, load Load) error {
 			r.Heal()
 		case EventKillLeader:
 			_, err = r.KillLeader()
+		case EventDegrade:
+			r.Degrade(ev.Node, ev.Delay, ev.Jitter)
+		case EventDegradeLeader:
+			_, err = r.DegradeLeader(ev.Delay, ev.Jitter)
+		case EventRestore:
+			r.RestoreNode(ev.Node)
 		case EventSurge:
 			surge := load
 			surge.Clients = ev.Clients
@@ -471,14 +528,21 @@ func (r *Runner) Finish(readRegion topo.Region, convergeTimeout time.Duration) *
 		r.violate("linearizability: %s", v)
 	}
 
+	gray := r.c.GrayFailureStats()
 	r.mu.Lock()
 	rep := &Report{
-		Name:       r.opts.Name,
-		Seed:       r.opts.Seed,
-		Events:     append([]AppliedEvent{}, r.events...),
-		Violations: append([]string{}, r.violations...),
-		Ops:        r.hist.Len(),
-		Probes:     probes,
+		Name:            r.opts.Name,
+		Seed:            r.opts.Seed,
+		Events:          append([]AppliedEvent{}, r.events...),
+		Violations:      append([]string{}, r.violations...),
+		Ops:             r.hist.Len(),
+		Probes:          probes,
+		ViewChanges:     gray.ViewChanges,
+		Rotations:       gray.Rotations,
+		RotationReasons: gray.Reasons,
+	}
+	for _, vr := range gray.ViewRates {
+		rep.ViewRates = append(rep.ViewRates, ViewRate{View: vr.View, PerSec: vr.PerSec})
 	}
 	r.mu.Unlock()
 	if len(rep.Violations) > 0 {

@@ -1,0 +1,235 @@
+package pbft
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spider/internal/stats"
+)
+
+// ViewRate is one completed (or current) view's measured delivery
+// throughput, exported for chaos artifacts and figure footnotes.
+type ViewRate struct {
+	View   uint64
+	PerSec float64
+}
+
+// monitor is the gray-failure leader performance monitor
+// (Config.SuspectSlowLeader). Every replica runs one against its own
+// observations of the group: request arrivals and deliveries recorded
+// into stats.Rate windows plus an EWMA of Order→deliver latency, all
+// fed at points the hot path already holds the replica lock, so the
+// monitor adds no locking of its own.
+//
+// The decision rule is deliberately two-signal. An interval flags the
+// leader slow only when (a) there is live demand (an admitted request
+// is still waiting), (b) delivery throughput fell below SlowFraction ×
+// the median of recent healthy intervals — spanning recent views, since
+// the baseline survives view installs — and (c) latency exceeds the
+// healthy median by more than 1/SlowFraction. Requiring both signals
+// kills the classic false positives: an overload spike blows up latency
+// but keeps throughput at capacity (fails b), a load drop deflates
+// throughput but not latency (fails c), and a degraded *follower*
+// changes neither, because quorums keep forming among the 2f+1 timely
+// members. After MonitorStrikes consecutive slow intervals the replica
+// accuses; the accusation is an ordinary view change, so rotation still
+// requires the normal 2f+1 quorum — f Byzantine slow-accusers cannot
+// depose a correct leader — and the per-replica RotationCooldown bounds
+// the rotation rate so a persistent bad signal cannot livelock the
+// group.
+type monitor struct {
+	interval time.Duration
+	grace    time.Duration
+	frac     float64
+	strikes  int
+	cooldown time.Duration
+
+	delivery *stats.Rate // payloads delivered, sliding window
+	arrival  *stats.Rate // fresh requests admitted via Order
+
+	latEWMA float64 // Order→deliver latency, seconds
+	haveLat bool
+
+	// Healthy-interval baselines (median over a bounded ring). Only
+	// intervals that were not flagged slow contribute, so a degrading
+	// leader cannot drag its own yardstick down during the strike
+	// window. The rings survive view installs: recent views' healthy
+	// rates are exactly the baseline a fresh leader is held to once
+	// its grace period ends.
+	rateBase []float64
+	latBase  []float64
+
+	streak   int
+	lastEval time.Time
+
+	viewStart time.Time
+	viewAt    time.Time // when the current view's delivery count began
+	viewN     uint64    // payloads delivered in the current view
+	viewRates []ViewRate
+
+	lastRotate time.Time
+	rotations  uint64
+	reasons    []string
+}
+
+const (
+	monitorBaseMin  = 4 // healthy samples required before judging
+	monitorBaseMax  = 8 // baseline ring size
+	monitorReasons  = 8 // rotation reasons retained
+	monitorLatFloor = float64(time.Millisecond) / float64(time.Second)
+)
+
+func newMonitor(cfg *Config, now time.Time) *monitor {
+	window := 4 * cfg.MonitorInterval
+	return &monitor{
+		interval:  cfg.MonitorInterval,
+		grace:     cfg.MonitorGrace,
+		frac:      cfg.SlowFraction,
+		strikes:   cfg.MonitorStrikes,
+		cooldown:  cfg.RotationCooldown,
+		delivery:  stats.NewRate(window),
+		arrival:   stats.NewRate(window),
+		viewStart: now,
+		viewAt:    now,
+	}
+}
+
+// observeArrival records one freshly admitted request. Unlike the
+// adaptive-batching recorder this is per-replica private state, so
+// every group member records every request it Orders without
+// overcounting anything.
+func (m *monitor) observeArrival(now time.Time) {
+	m.arrival.RecordAt(now, 1)
+}
+
+// observeDelivery records one delivered batch: n payloads and the
+// worst Order→deliver latency among those this replica admitted
+// itself (zero when the batch carried only payloads it first saw
+// proposed).
+func (m *monitor) observeDelivery(now time.Time, n int, worstLat time.Duration) {
+	if n <= 0 {
+		return
+	}
+	m.delivery.RecordAt(now, n)
+	m.viewN += uint64(n)
+	if worstLat > 0 {
+		l := worstLat.Seconds()
+		if m.haveLat {
+			m.latEWMA = 0.7*m.latEWMA + 0.3*l
+		} else {
+			m.latEWMA = l
+			m.haveLat = true
+		}
+	}
+}
+
+// onViewInstall closes the books on the old view — its measured
+// throughput joins the per-view record — and restarts the grace
+// period for the new leader. Baselines and the rotation cooldown
+// survive: they describe the group, not the deposed leader.
+func (m *monitor) onViewInstall(now time.Time, oldView uint64) {
+	if elapsed := now.Sub(m.viewAt).Seconds(); elapsed > 0 && m.viewN > 0 {
+		m.viewRates = append(m.viewRates, ViewRate{View: oldView, PerSec: float64(m.viewN) / elapsed})
+		if len(m.viewRates) > 16 {
+			m.viewRates = m.viewRates[len(m.viewRates)-16:]
+		}
+	}
+	m.viewN = 0
+	m.viewAt = now
+	m.viewStart = now
+	m.streak = 0
+}
+
+// evaluate is called from the replica's timer tick (under its lock)
+// and judges the current leader once per MonitorInterval. It returns
+// a non-empty reason when the replica should accuse the leader now.
+func (m *monitor) evaluate(now time.Time, view uint64, demand bool, oldestWait time.Duration) string {
+	if now.Sub(m.lastEval) < m.interval {
+		return ""
+	}
+	m.lastEval = now
+	if now.Sub(m.viewStart) < m.grace {
+		return ""
+	}
+	rate := m.delivery.PerSecondAt(now)
+	lat := m.latEWMA
+	if demand && oldestWait.Seconds() > lat {
+		// A request stuck right now outranks the delivery history:
+		// under a hard gray stall the EWMA goes stale while the
+		// oldest admitted request keeps aging.
+		lat = oldestWait.Seconds()
+	}
+
+	if len(m.rateBase) < monitorBaseMin {
+		m.recordHealthy(rate, lat)
+		m.streak = 0
+		return ""
+	}
+	rateMed := median(m.rateBase)
+	latMed := median(m.latBase)
+	if latMed < monitorLatFloor {
+		latMed = monitorLatFloor
+	}
+	slow := demand && rate < m.frac*rateMed && lat > latMed/m.frac
+	if !slow {
+		m.recordHealthy(rate, lat)
+		m.streak = 0
+		return ""
+	}
+	m.streak++
+	if m.streak < m.strikes {
+		return ""
+	}
+	if !m.lastRotate.IsZero() && now.Sub(m.lastRotate) < m.cooldown {
+		return "" // bounded rotation rate: hold fire, keep the streak
+	}
+	m.lastRotate = now
+	m.rotations++
+	m.streak = 0
+	reason := fmt.Sprintf("view %d: %.1f/s < %.2f x %.1f/s, lat %.0fms > %.0fms (arrival %.1f/s)",
+		view, rate, m.frac, rateMed, lat*1000, latMed/m.frac*1000, m.arrival.PerSecondAt(now))
+	m.reasons = append(m.reasons, reason)
+	if len(m.reasons) > monitorReasons {
+		m.reasons = m.reasons[len(m.reasons)-monitorReasons:]
+	}
+	return reason
+}
+
+// recordHealthy pushes one non-flagged interval into the baselines.
+// Zero-throughput intervals are skipped: an idle group says nothing
+// about what a healthy leader sustains.
+func (m *monitor) recordHealthy(rate, lat float64) {
+	if rate <= 0 {
+		return
+	}
+	m.rateBase = append(m.rateBase, rate)
+	if len(m.rateBase) > monitorBaseMax {
+		m.rateBase = m.rateBase[len(m.rateBase)-monitorBaseMax:]
+	}
+	if lat > 0 {
+		m.latBase = append(m.latBase, lat)
+		if len(m.latBase) > monitorBaseMax {
+			m.latBase = m.latBase[len(m.latBase)-monitorBaseMax:]
+		}
+	}
+}
+
+// snapshotViewRates returns the recorded per-view throughputs plus the
+// current view's running rate.
+func (m *monitor) snapshotViewRates(now time.Time, view uint64) []ViewRate {
+	out := append([]ViewRate(nil), m.viewRates...)
+	if elapsed := now.Sub(m.viewAt).Seconds(); elapsed > 0 && m.viewN > 0 {
+		out = append(out, ViewRate{View: view, PerSec: float64(m.viewN) / elapsed})
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

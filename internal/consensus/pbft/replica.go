@@ -143,6 +143,17 @@ type Replica struct {
 	// adaptive mode adds no locking. Nil when the static knobs rule.
 	tuner *tune.BatchController
 
+	// mon, when SuspectSlowLeader is configured, watches the current
+	// leader's delivery throughput and latency and accuses it via a
+	// proactive view change when it gray-fails. Fed and evaluated only
+	// under r.mu, like the tuner. Nil when the gate is off.
+	mon *monitor
+
+	// vcCount counts every view change this replica entered (timeout-
+	// driven, join-amplified, or proactive), for figures and chaos
+	// artifacts.
+	vcCount uint64
+
 	// View-change emission state for the MAC fast path: after entering
 	// a view change the replica may briefly hold its view-change
 	// message back (vcHold) while the proof-upgrade round replaces
@@ -234,6 +245,9 @@ func New(cfg Config) (*Replica, error) {
 			Rate:     cfg.ArrivalRate,
 		})
 	}
+	if cfg.SuspectSlowLeader {
+		r.mon = newMonitor(&r.cfg, time.Now())
+	}
 	for _, m := range cfg.Group.Members {
 		r.recvLanes[m] = cfg.Pipeline.NewLane()
 	}
@@ -305,6 +319,38 @@ func (r *Replica) Leader() ids.NodeID {
 	return r.cfg.leaderOf(r.view)
 }
 
+// ViewChanges returns how many view changes this replica has entered
+// (timeout-driven, join-amplified, or proactive).
+func (r *Replica) ViewChanges() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.vcCount
+}
+
+// Rotations returns how many proactive (gray-failure) rotations this
+// replica initiated and the recorded reasons, newest last. Zero and
+// nil unless SuspectSlowLeader is on.
+func (r *Replica) Rotations() (uint64, []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mon == nil {
+		return 0, nil
+	}
+	return r.mon.rotations, append([]string(nil), r.mon.reasons...)
+}
+
+// ViewThroughput returns the monitor's per-view delivery rates
+// (completed views plus the current one). Nil unless
+// SuspectSlowLeader is on.
+func (r *Replica) ViewThroughput() []ViewRate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mon == nil {
+		return nil
+	}
+	return r.mon.snapshotViewRates(time.Now(), r.view)
+}
+
 // Order implements consensus.Agreement.
 func (r *Replica) Order(payload []byte) {
 	if r.cfg.Validate != nil {
@@ -340,6 +386,11 @@ func (r *Replica) Order(payload []byte) {
 	// overcount offered load by the group size.
 	if r.tuner != nil && r.isLeaderLocked() {
 		r.tuner.ObserveArrival(time.Now())
+	}
+	// The gray-failure monitor's arrival window is per-replica private
+	// state, so every member records unconditionally.
+	if r.mon != nil {
+		r.mon.observeArrival(time.Now())
 	}
 	r.maybeProposeLocked(false)
 }
@@ -1047,9 +1098,21 @@ func (r *Replica) deliveryLoop() {
 		r.nextDeliver++
 		r.nextGlobal += uint64(len(e.payloads))
 		r.chain = chainDigest(r.chain, e.digest)
+		var worstLat time.Duration
+		now := time.Now()
 		for _, d := range e.payloadDigestsLocked() {
+			if r.mon != nil {
+				if t0, ok := r.pendingSince[d]; ok {
+					if lat := now.Sub(t0); lat > worstLat {
+						worstLat = lat
+					}
+				}
+			}
 			r.seen[d] = reqDelivered
 			delete(r.pendingSince, d)
+		}
+		if r.mon != nil {
+			r.mon.observeDelivery(now, len(e.payloads), worstLat)
 		}
 		r.curTimeout = r.cfg.RequestTimeout // progress: reset backoff
 
@@ -1559,17 +1622,28 @@ func (r *Replica) checkTimeoutsLocked() {
 		}
 		return
 	}
-	if len(r.pendingSince) == 0 {
-		return
-	}
-	oldest := now
-	for _, t := range r.pendingSince {
-		if t.Before(oldest) {
-			oldest = t
+	var oldestWait time.Duration
+	if len(r.pendingSince) > 0 {
+		oldest := now
+		for _, t := range r.pendingSince {
+			if t.Before(oldest) {
+				oldest = t
+			}
+		}
+		oldestWait = now.Sub(oldest)
+		if oldestWait > r.curTimeout {
+			r.startViewChangeLocked(r.view + 1)
+			return
 		}
 	}
-	if now.Sub(oldest) > r.curTimeout {
-		r.startViewChangeLocked(r.view + 1)
+	// Gray-failure defense: the silence timeout above never fires
+	// against a leader that commits *just* fast enough, so the
+	// performance monitor separately accuses a leader that measurably
+	// underperforms the recent healthy baseline while requests wait.
+	if r.mon != nil {
+		if reason := r.mon.evaluate(now, r.view, len(r.pendingSince) > 0, oldestWait); reason != "" {
+			r.startViewChangeLocked(r.view + 1)
+		}
 	}
 }
 

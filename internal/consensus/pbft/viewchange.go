@@ -29,7 +29,15 @@ func (r *Replica) startViewChangeLocked(target uint64) {
 	}
 	r.inVC = true
 	r.vcTarget = target
+	r.vcCount++
 	r.curTimeout *= 2
+	if r.curTimeout > r.cfg.ViewChangeTimeoutCap {
+		// Saturate the backoff: a long partition must not push the
+		// post-heal view-change cadence (and with it recovery latency)
+		// to minutes. The cap is still several times the request
+		// timeout, so competing view changes keep converging.
+		r.curTimeout = r.cfg.ViewChangeTimeoutCap
+	}
 	r.vcDeadline = time.Now().Add(r.curTimeout)
 	r.vcSent = false
 	if r.macMode() {
@@ -474,6 +482,7 @@ func (r *Replica) handleNewViewLocked(from ids.NodeID, nv *newView, v *nvVerdict
 // pre-prepares, requeue orphaned payloads, and resume normal
 // operation.
 func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*prePrepare, env []byte) {
+	oldView := r.view
 	r.view = nv.View
 	r.inVC = false
 	r.vcTarget = nv.View
@@ -485,6 +494,11 @@ func (r *Replica) adoptViewLocked(nv *newView, plan reissuePlan, reissues []*pre
 		// again and would freeze at its last elevated target; the new
 		// leader ramps from the floor like any fresh one.
 		r.tuner.Reset()
+	}
+	if r.mon != nil {
+		// Close the old view's throughput record and grant the new
+		// leader its grace period before it can be judged.
+		r.mon.onViewInstall(time.Now(), oldView)
 	}
 	if r.cfg.OnViewInstall != nil {
 		r.cfg.OnViewInstall(nv.View)

@@ -213,6 +213,10 @@ func NewAgreementReplica(cfg AgreementConfig) (*AgreementReplica, error) {
 
 		AdaptiveBatching: cfg.AdaptiveBatching,
 		ArrivalRate:      cfg.ArrivalRate,
+
+		SuspectSlowLeader: cfg.SuspectSlowLeader,
+		MonitorInterval:   cfg.SlowLeaderInterval,
+		RotationCooldown:  cfg.SlowLeaderCooldown,
 	}
 	if img != nil && len(img.Meta) == 8 {
 		pbftCfg.StartView = binary.BigEndian.Uint64(img.Meta)
@@ -497,6 +501,38 @@ func (a *AgreementReplica) ConsensusView() (uint64, bool) {
 		return v.View(), true
 	}
 	return 0, false
+}
+
+// ConsensusViewChanges reports how many view changes this replica has
+// entered since it started (timeout-driven, proactive, and adopted
+// alike), when the consensus implementation counts them.
+func (a *AgreementReplica) ConsensusViewChanges() (uint64, bool) {
+	if v, ok := a.ag.(interface{ ViewChanges() uint64 }); ok {
+		return v.ViewChanges(), true
+	}
+	return 0, false
+}
+
+// ConsensusRotations reports how many proactive slow-leader rotations
+// this replica's performance monitor has triggered, plus the recorded
+// human-readable reasons (most recent last). Zero with no reasons when
+// the monitor is disabled or the implementation lacks one.
+func (a *AgreementReplica) ConsensusRotations() (uint64, []string, bool) {
+	if r, ok := a.ag.(interface{ Rotations() (uint64, []string) }); ok {
+		n, reasons := r.Rotations()
+		return n, reasons, true
+	}
+	return 0, nil, false
+}
+
+// ConsensusViewRates reports per-view delivery throughput as recorded
+// by the leader performance monitor — nil unless SuspectSlowLeader is
+// enabled on a consensus implementation that tracks it.
+func (a *AgreementReplica) ConsensusViewRates() []pbft.ViewRate {
+	if r, ok := a.ag.(interface{ ViewThroughput() []pbft.ViewRate }); ok {
+		return r.ViewThroughput()
+	}
+	return nil
 }
 
 // UndecodablePayloads reports how many ordered payloads failed to

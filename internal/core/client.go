@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -246,6 +247,7 @@ func (c *Client) do(kind RequestKind, op []byte) ([]byte, error) {
 
 	frame := clientRegistry.EncodeFrame(tagRequest, &req)
 	deadline := time.Now().Add(c.cfg.Deadline)
+	interval := c.cfg.Retry
 	for {
 		// Broadcast to the (current) group; the group can change
 		// between retries via SwitchGroup.
@@ -257,7 +259,11 @@ func (c *Client) do(kind RequestKind, op []byte) ([]byte, error) {
 			c.cfg.Node.Send(replica, clientStream(group.ID), env)
 		}
 
-		retry := time.NewTimer(c.cfg.Retry)
+		sleep := interval
+		if c.cfg.RetryBackoff {
+			sleep = jitterRetry(interval, rand.Float64)
+		}
+		retry := time.NewTimer(sleep)
 		select {
 		case result := <-wait.done:
 			retry.Stop()
@@ -269,8 +275,31 @@ func (c *Client) do(kind RequestKind, op []byte) ([]byte, error) {
 				c.mu.Unlock()
 				return nil, fmt.Errorf("%w: %s counter %d", ErrTimeout, kind, req.Counter)
 			}
+			if c.cfg.RetryBackoff {
+				interval = nextRetryInterval(interval, c.cfg.RetryMax)
+			}
 		}
 	}
+}
+
+// nextRetryInterval doubles a retry interval, saturating at max: the
+// re-broadcast cadence backs off an overloaded or healing cluster
+// instead of hammering it at a fixed rate, but never disappears
+// entirely.
+func nextRetryInterval(cur, max time.Duration) time.Duration {
+	next := 2 * cur
+	if next > max {
+		next = max
+	}
+	return next
+}
+
+// jitterRetry spreads one retry wait uniformly across ±20% of the
+// interval, so a fleet of clients that timed out together does not
+// re-broadcast in lockstep (a retry storm is exactly what a recovering
+// cluster cannot absorb). rnd is injected for tests.
+func jitterRetry(interval time.Duration, rnd func() float64) time.Duration {
+	return time.Duration(float64(interval) * (0.8 + 0.4*rnd()))
 }
 
 // applyReply collects replica replies; fe+1 matching results complete

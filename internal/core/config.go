@@ -298,6 +298,20 @@ type AgreementConfig struct {
 	// admitted consensus payload so deployments can read the windowed
 	// offered load (req/s) the batch controller saw.
 	ArrivalRate *stats.Rate
+	// SuspectSlowLeader enables PBFT's gray-failure defense: every
+	// agreement replica monitors the leader's delivery throughput and
+	// latency against the median of recent healthy measurements and
+	// proactively rotates a leader that is slow but not silent (see
+	// pbft.Config.SuspectSlowLeader). Rotation still requires the
+	// normal 2f+1 view-change quorum. Off by default — the classic
+	// silence-timeout behavior stays byte-for-byte unchanged.
+	SuspectSlowLeader bool
+	// SlowLeaderInterval overrides the monitor's evaluation interval
+	// (default ConsensusTimeout/8, floored at 10ms).
+	SlowLeaderInterval time.Duration
+	// SlowLeaderCooldown bounds the proactive rotation rate per
+	// replica (default 2× ConsensusTimeout).
+	SlowLeaderCooldown time.Duration
 	// ConsensusAuth selects how PBFT authenticates its normal-case
 	// messages. The zero value is the paper's agreement-cluster
 	// optimisation: MAC vectors among the agreement replicas (whose
@@ -366,8 +380,20 @@ type ClientConfig struct {
 	// Suite, Node: identity and transport.
 	Suite crypto.Suite
 	Node  transport.Node
-	// Retry is the resend interval (t_retry, default 500ms).
+	// Retry is the resend interval (t_retry, default 500ms). With
+	// RetryBackoff it is the base of the exponential schedule instead.
 	Retry time.Duration
+	// RetryBackoff switches the resend timer from a fixed interval to
+	// capped exponential backoff with ±20% jitter: the first retry
+	// fires after ~Retry, each subsequent one doubles the interval up
+	// to RetryMax. Re-broadcasts from a fleet of timed-out clients then
+	// thin out and desynchronize instead of storming an overloaded or
+	// healing cluster in lockstep. Off (false) keeps the exact legacy
+	// fixed-interval behavior.
+	RetryBackoff bool
+	// RetryMax caps the backed-off retry interval (default 8× Retry).
+	// Only meaningful with RetryBackoff.
+	RetryMax time.Duration
 	// Deadline bounds one operation end to end (default 30s).
 	Deadline time.Duration
 	// CounterStart seeds the request counter. A client identity must
@@ -426,6 +452,9 @@ func (c *ClientConfig) validate() error {
 func (c *ClientConfig) applyDefaults() {
 	if c.Retry <= 0 {
 		c.Retry = 500 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 8 * c.Retry
 	}
 	if c.Deadline <= 0 {
 		c.Deadline = 30 * time.Second

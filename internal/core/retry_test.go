@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNextRetryInterval pins the capped doubling: 2s → 4s → 8s → 8s …
+// and never past the cap.
+func TestNextRetryInterval(t *testing.T) {
+	max := 8 * time.Second
+	cur := 2 * time.Second
+	want := []time.Duration{4 * time.Second, 8 * time.Second, 8 * time.Second, 8 * time.Second}
+	for i, w := range want {
+		cur = nextRetryInterval(cur, max)
+		if cur != w {
+			t.Fatalf("step %d: interval = %v, want %v", i, cur, w)
+		}
+	}
+	if got := nextRetryInterval(10*time.Second, max); got != max {
+		t.Fatalf("interval above the cap returned %v, want %v", got, max)
+	}
+}
+
+// TestJitterRetry pins the ±20% band: the jittered sleep spans
+// [0.8, 1.2) × interval across the rng range and is exact at the
+// endpoints.
+func TestJitterRetry(t *testing.T) {
+	interval := time.Second
+	if got := jitterRetry(interval, func() float64 { return 0 }); got != 800*time.Millisecond {
+		t.Fatalf("rnd=0: %v, want 800ms", got)
+	}
+	if got := jitterRetry(interval, func() float64 { return 0.5 }); got != time.Second {
+		t.Fatalf("rnd=0.5: %v, want 1s", got)
+	}
+	if got := jitterRetry(interval, func() float64 { return 0.999999 }); got >= 1200*time.Millisecond || got < time.Second {
+		t.Fatalf("rnd→1: %v, want just under 1.2s", got)
+	}
+	// A spread of draws stays inside the band.
+	for _, r := range []float64{0.1, 0.25, 0.4, 0.6, 0.75, 0.9} {
+		r := r
+		got := jitterRetry(interval, func() float64 { return r })
+		if got < 800*time.Millisecond || got > 1200*time.Millisecond {
+			t.Fatalf("rnd=%.2f: %v escaped [0.8s, 1.2s]", r, got)
+		}
+	}
+}
+
+// TestClientConfigRetryDefaults: RetryMax defaults to 8× Retry, and
+// the backoff gate's zero value keeps the legacy fixed interval.
+func TestClientConfigRetryDefaults(t *testing.T) {
+	cfg := ClientConfig{Retry: 2 * time.Second}
+	cfg.applyDefaults()
+	if cfg.RetryMax != 16*time.Second {
+		t.Fatalf("RetryMax default = %v, want 8× Retry = 16s", cfg.RetryMax)
+	}
+	if cfg.RetryBackoff {
+		t.Fatal("RetryBackoff must default to off (legacy fixed-interval retry)")
+	}
+}

@@ -115,6 +115,7 @@ type LatencyRow struct {
 	Batch   stats.OccupancySummary // requests per proposed consensus batch
 	Send    stats.OccupancySummary // requests per commit-channel Send
 	Commit  core.CommitSummary     // commit-channel bytes and dedup counters
+	Gray    GrayStats              // view changes and proactive rotations during the run
 }
 
 // runLatency builds a system, runs one workload, and emits one row per
@@ -133,6 +134,7 @@ func runLatency(p RunProfile, system System, label string, kind core.RequestKind
 	batch := cluster.BatchOccSummary()
 	send := cluster.SendOccSummary()
 	commit := cluster.CommitSummary()
+	gray := cluster.GrayFailureStats()
 	var rows []LatencyRow
 	for _, region := range cluster.Opts.Regions {
 		rows = append(rows, LatencyRow{
@@ -143,6 +145,7 @@ func runLatency(p RunProfile, system System, label string, kind core.RequestKind
 			Batch:   batch,
 			Send:    send,
 			Commit:  commit,
+			Gray:    gray,
 		})
 	}
 	return rows, nil
@@ -358,6 +361,16 @@ func RenderLatencyRows(title string, rows []LatencyRow) string {
 			fmt.Fprintf(&b, "   %s %s: commit channel %s (%.0f B/req)\n",
 				r.System, r.Leader, r.Commit,
 				float64(r.Commit.PayloadBytes)/float64(r.Batch.Total))
+		}
+		// View-change activity during the measurement: a healthy run
+		// stays at zero; anything else names the rotations that moved
+		// the leader mid-run (and therefore reshaped the percentiles).
+		if r.Gray.ViewChanges > 0 || r.Gray.Rotations > 0 {
+			fmt.Fprintf(&b, "   %s %s: %d view change(s), %d proactive rotation(s)\n",
+				r.System, r.Leader, r.Gray.ViewChanges, r.Gray.Rotations)
+			for _, reason := range r.Gray.Reasons {
+				fmt.Fprintf(&b, "      rotated: %s\n", reason)
+			}
 		}
 	}
 	return b.String()

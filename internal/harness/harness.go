@@ -113,6 +113,11 @@ type BuildOptions struct {
 	// rehydrates from its on-disk checkpoint and log suffix instead of
 	// cold-starting into a full state fetch.
 	StateDir string
+	// SuspectSlowLeader arms the gray-failure defense on every Spider
+	// agreement session: replicas monitor the leader's delivery
+	// throughput and proposal latency and proactively rotate a leader
+	// that underperforms without crashing (default off).
+	SuspectSlowLeader bool
 }
 
 func (o *BuildOptions) applyDefaults() {
@@ -537,6 +542,66 @@ func (c *Cluster) AgreementNodes() []ids.NodeID {
 	return append([]ids.NodeID{}, c.spiderAgreement.Members...)
 }
 
+// DegradeNode turns the node into a gray performer: every frame it
+// sends is delayed by roughly delay (±jitter fraction) on top of the
+// emulated WAN latency, but nothing is dropped and the node keeps
+// running. This is the failure mode crash detectors miss — the node
+// answers everything, just slowly.
+func (c *Cluster) DegradeNode(id ids.NodeID, delay time.Duration, jitter float64) {
+	c.Net.Degrade(id, delay, jitter)
+}
+
+// RestoreNode lifts a DegradeNode slowdown.
+func (c *Cluster) RestoreNode(id ids.NodeID) {
+	c.Net.Restore(id)
+}
+
+// GrayStats aggregates the gray-failure defense counters of the
+// shard-0 agreement session.
+type GrayStats struct {
+	// ViewChanges is the highest view-change count any replica entered
+	// (timeout-driven and proactive alike).
+	ViewChanges uint64
+	// Rotations counts proactive slow-leader rotations triggered by the
+	// performance monitor; Reasons holds their recorded explanations.
+	Rotations uint64
+	Reasons   []string
+	// ViewRates is per-view delivery throughput as seen by the replica
+	// with the freshest view, empty unless SuspectSlowLeader is on.
+	ViewRates []pbft.ViewRate
+}
+
+// GrayFailureStats reports the shard-0 agreement session's view-change
+// and proactive-rotation counters. Each replica counts independently
+// (monitors are per-replica local state), so the cluster-level figure
+// is the maximum across running replicas.
+func (c *Cluster) GrayFailureStats() GrayStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out GrayStats
+	bestView := uint64(0)
+	haveView := false
+	for _, rec := range c.records {
+		if rec.kind != kindAgree || !rec.running || rec.agree == nil || rec.shard != 0 {
+			continue
+		}
+		if vc, ok := rec.agree.ConsensusViewChanges(); ok && vc > out.ViewChanges {
+			out.ViewChanges = vc
+		}
+		if n, reasons, ok := rec.agree.ConsensusRotations(); ok && n >= out.Rotations && n > 0 {
+			out.Rotations = n
+			out.Reasons = reasons
+		}
+		if view, ok := rec.agree.ConsensusView(); ok {
+			if rates := rec.agree.ConsensusViewRates(); len(rates) > 0 && (!haveView || view > bestView) {
+				out.ViewRates = rates
+				bestView, haveView = view, true
+			}
+		}
+	}
+	return out
+}
+
 // PartitionRegions splits the emulated WAN so the named regions can
 // only talk among themselves.
 func (c *Cluster) PartitionRegions(regions ...topo.Region) {
@@ -824,6 +889,12 @@ func (c *Cluster) startRecord(rec *replicaRecord) error {
 			ArrivalRate:      c.arrival[rec.shard],
 			Shard:            rec.shard,
 			Store:            st,
+			// Gray-failure defense: evaluate the leader every 1/8th of
+			// the request timeout; after a rotation hold fire for one
+			// full timeout so the new leader can prove itself.
+			SuspectSlowLeader:  c.Opts.SuspectSlowLeader,
+			SlowLeaderInterval: 250 * time.Millisecond,
+			SlowLeaderCooldown: 2 * time.Second,
 		})
 		if err != nil {
 			if st != nil {
@@ -995,6 +1066,11 @@ func (c *Cluster) NewClient(region topo.Region) (*core.Client, error) {
 		Node:           c.Net.Node(id.Node()),
 		Retry:          2 * time.Second,
 		Deadline:       60 * time.Second,
+		// Capped exponential backoff stops synchronized retry storms
+		// from piling onto a cluster that is already struggling (the
+		// fixed-interval legacy mode remains for RetryBackoff: false).
+		RetryBackoff: true,
+		RetryMax:     8 * time.Second,
 	}
 	if c.Opts.Shards > 1 {
 		// One client edge over S sessions: route each operation to the
@@ -1062,6 +1138,8 @@ func (c *Cluster) AddRegion(region topo.Region) error {
 			Node:           c.Net.Node(c.adminID.Node()),
 			Retry:          2 * time.Second,
 			Deadline:       60 * time.Second,
+			RetryBackoff:   true,
+			RetryMax:       8 * time.Second,
 		})
 		if err != nil {
 			return err

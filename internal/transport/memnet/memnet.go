@@ -122,6 +122,7 @@ type Network struct {
 	isolated  map[ids.NodeID]bool
 	dropRate  map[linkKey]float64
 	profiles  map[regionPair]Profile
+	degraded  map[ids.NodeID]degradeSpec
 	partition map[topo.Region]bool // non-nil while a partition is active
 	closed    bool
 
@@ -150,6 +151,7 @@ func New(opts Options) *Network {
 		isolated: make(map[ids.NodeID]bool),
 		dropRate: make(map[linkKey]float64),
 		profiles: make(map[regionPair]Profile),
+		degraded: make(map[ids.NodeID]degradeSpec),
 		done:     make(chan struct{}),
 	}
 }
@@ -241,6 +243,42 @@ func (n *Network) SetProfile(a, b topo.Region, p Profile) {
 	n.profiles[key] = p
 }
 
+// degradeSpec shapes one gray-failed node's outbound traffic.
+type degradeSpec struct {
+	delay  time.Duration
+	jitter float64
+}
+
+// Degrade gray-fails a node: every outbound frame (self-delivery
+// excluded) is delayed by an extra delay, plus uniform jitter in
+// [0, jitter × total one-way delay] drawn from the per-link seeded
+// generators so runs replay deterministically from the network seed. Frames are delayed,
+// never dropped — the node is slow, not dead — and the extra delay
+// composes additively with link profiles, drop schedules, and
+// Partition (a degraded node inside a partitioned region is still
+// partitioned). A second call replaces the first.
+func (n *Network) Degrade(id ids.NodeID, delay time.Duration, jitter float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.degraded[id] = degradeSpec{delay: delay, jitter: jitter}
+}
+
+// Restore removes a node's gray failure. Frames already in flight keep
+// their degraded delivery times (FIFO links never reorder).
+func (n *Network) Restore(id ids.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.degraded, id)
+}
+
+// Degraded reports whether the node is currently gray-failed.
+func (n *Network) Degraded(id ids.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.degraded[id]
+	return ok
+}
+
 // Partition drops every frame crossing between the given region set
 // and its complement until Heal, emulating a clean network split.
 // Traffic within either side still flows. Nodes without a placement
@@ -328,6 +366,10 @@ func (n *Network) send(from, to ids.NodeID, stream transport.Stream, payload []b
 	if from != to && len(n.profiles) > 0 {
 		prof = n.profiles[normPair(rFrom, rTo)]
 	}
+	var deg degradeSpec
+	if from != to {
+		deg = n.degraded[from]
+	}
 	l, ok := n.links[key]
 	if !ok {
 		l = newLink(n.opts.Seed, from, to)
@@ -359,8 +401,8 @@ func (n *Network) send(from, to ids.NodeID, stream transport.Stream, payload []b
 	if n.opts.Placement != nil {
 		base = n.opts.Placement.OneWay(from, to)
 	}
-	base += prof.ExtraLatency
-	l.enqueue(frame{from: from, stream: stream, payload: payload}, base, n.opts.JitterFrac+prof.JitterFrac)
+	base += prof.ExtraLatency + deg.delay
+	l.enqueue(frame{from: from, stream: stream, payload: payload}, base, n.opts.JitterFrac+prof.JitterFrac+deg.jitter)
 }
 
 // frameOverhead approximates per-frame header cost (IP+TCP headers) so

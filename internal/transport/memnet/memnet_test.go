@@ -417,3 +417,65 @@ func TestProfileShapesLatencyAndLoss(t *testing.T) {
 		t.Fatal("healthy frame not delivered")
 	}
 }
+
+// TestDegradeRestore: a degraded node's outbound frames are delayed by
+// roughly the configured amount but never dropped, inbound frames are
+// unaffected, and Restore returns the node to baseline.
+func TestDegradeRestore(t *testing.T) {
+	net := New(Options{})
+	defer net.Close()
+
+	got := make(chan time.Duration, 8)
+	var start time.Time
+	var startMu sync.Mutex
+	arm := func() {
+		startMu.Lock()
+		start = time.Now()
+		startMu.Unlock()
+	}
+	handler := func(ids.NodeID, []byte) {
+		startMu.Lock()
+		d := time.Since(start)
+		startMu.Unlock()
+		got <- d
+	}
+	net.Node(2).Handle(testStream, handler)
+	net.Node(1).Handle(testStream, handler)
+	recv := func(what string) time.Duration {
+		t.Helper()
+		select {
+		case d := <-got:
+			return d
+		case <-time.After(2 * time.Second):
+			t.Fatalf("%s frame not delivered", what)
+			return 0
+		}
+	}
+
+	net.Degrade(1, 60*time.Millisecond, 0)
+	if !net.Degraded(1) {
+		t.Fatal("Degraded(1) = false after Degrade")
+	}
+	arm()
+	net.Node(1).Send(2, testStream, []byte("slow out"))
+	if d := recv("degraded outbound"); d < 55*time.Millisecond {
+		t.Fatalf("degraded outbound took %v, want >= ~60ms", d)
+	}
+	// Inbound to the degraded node is unaffected: gray failure slows
+	// what the node emits, not what it hears.
+	arm()
+	net.Node(2).Send(1, testStream, []byte("fast in"))
+	if d := recv("inbound"); d > 50*time.Millisecond {
+		t.Fatalf("inbound to degraded node took %v, want baseline", d)
+	}
+
+	net.Restore(1)
+	if net.Degraded(1) {
+		t.Fatal("Degraded(1) = true after Restore")
+	}
+	arm()
+	net.Node(1).Send(2, testStream, []byte("fast again"))
+	if d := recv("restored"); d > 50*time.Millisecond {
+		t.Fatalf("restored outbound took %v, want baseline", d)
+	}
+}

@@ -202,6 +202,13 @@ type LocalClusterOptions struct {
 	// windows from the measured drain rate of each execution group.
 	// Sender-local only — no wire change — and off by default.
 	AdaptiveWindows bool
+
+	// SuspectSlowLeader arms the gray-failure defense: agreement
+	// replicas monitor the leader's delivery throughput and proposal
+	// latency and proactively rotate to the next view when the leader
+	// underperforms without crashing. Safety is unaffected (rotation
+	// uses the normal view-change quorum); off by default.
+	SuspectSlowLeader bool
 }
 
 // LocalCluster is a complete Spider deployment running in-process.
@@ -221,17 +228,18 @@ func NewLocalCluster(opts LocalClusterOptions) (*LocalCluster, error) {
 		channel = core.ChannelSC
 	}
 	cluster, err := harness.Build(harness.BuildOptions{
-		System:           harness.SystemSpider,
-		F:                opts.F,
-		Regions:          opts.Regions,
-		ExtraRegions:     opts.ExtraRegions,
-		AgreementRegion:  opts.AgreementRegion,
-		Scale:            opts.LatencyScale,
-		SuiteKind:        suite,
-		Channel:          channel,
-		Shards:           opts.Shards,
-		AdaptiveBatching: opts.AdaptiveBatching,
-		AdaptiveWindows:  opts.AdaptiveWindows,
+		System:            harness.SystemSpider,
+		F:                 opts.F,
+		Regions:           opts.Regions,
+		ExtraRegions:      opts.ExtraRegions,
+		AgreementRegion:   opts.AgreementRegion,
+		Scale:             opts.LatencyScale,
+		SuiteKind:         suite,
+		Channel:           channel,
+		Shards:            opts.Shards,
+		AdaptiveBatching:  opts.AdaptiveBatching,
+		AdaptiveWindows:   opts.AdaptiveWindows,
+		SuspectSlowLeader: opts.SuspectSlowLeader,
 	})
 	if err != nil {
 		return nil, err
