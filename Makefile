@@ -7,10 +7,13 @@ GO ?= go
 ## commit-channel dedup byte metrics (commit-B/req and wire-B/req on a
 ## strong-read-heavy workload, with dedup on and off), the
 ## keyspace-shard sweep (S=1/2/4 end-to-end write latency; S=1 is the
-## unsharded baseline), and the adaptive-batching sweep (low/medium/
+## unsharded baseline), the adaptive-batching sweep (low/medium/
 ## saturated offered load, best-static vs adaptive; the adaptive
-## acceptance bar is within ~10% of best-static at every level).
-BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle|CommitDedup|ShardSweep|AdaptiveSweep
+## acceptance bar is within ~10% of best-static at every level), and
+## the per-suite crypto dimension: sign/verify micro benches for
+## RSA-1024 vs Ed25519 plus the Ed25519 agreement-throughput rows, so
+## snapshots record which suite produced each number.
+BENCH_PATTERN := RSAThroughput|MACThroughput|MicroPipelineRSA|MACVector|MACSingle|CommitDedup|ShardSweep|AdaptiveSweep|Ed25519Throughput|RSASign|RSAVerify|Ed25519Sign|Ed25519Verify
 
 .PHONY: check build vet test race fuzz-seeds soak soak-smoke bench bench-snapshot bench-compare tidy
 

@@ -290,9 +290,9 @@ func BenchmarkAblationRealCrypto(b *testing.B) {
 // --- RSA-suite agreement throughput ------------------------------------------
 
 // benchPBFTThroughput measures raw agreement throughput of one
-// 4-replica PBFT group with the RSA-1024 suite over a zero-latency
-// in-process network, so CPU-bound crypto — not the WAN — is the
-// bottleneck. pipe selects the crypto execution mode: the serial
+// 4-replica PBFT group under the given signature suite over a
+// zero-latency in-process network, so CPU-bound crypto — not the WAN —
+// is the bottleneck. pipe selects the crypto execution mode: the serial
 // pipeline reproduces the old inline behavior (signing under the
 // replica lock, verification on the transport goroutines); the default
 // pipeline fans both out across cores. auth selects signature-PBFT or
@@ -300,10 +300,10 @@ func BenchmarkAblationRealCrypto(b *testing.B) {
 // submitters. batch is the consensus batch size — a first-class
 // workload dimension now that a batch crosses the whole data plane as
 // one unit (one pre-prepare signature, one delivery callback).
-func benchPBFTThroughput(b *testing.B, pipe *crypto.Pipeline, flows int, auth pbft.AuthMode, batch int) {
+func benchPBFTThroughput(b *testing.B, suite crypto.SuiteKind, pipe *crypto.Pipeline, flows int, auth pbft.AuthMode, batch int) {
 	nodes := []ids.NodeID{1, 2, 3, 4}
 	group := ids.Group{ID: 1, Members: nodes, F: 1}
-	suites := crypto.NewSuites(nodes, crypto.SuiteRSA)
+	suites := crypto.NewSuites(nodes, suite)
 	net := memnet.New(memnet.Options{})
 	defer net.Close()
 
@@ -382,19 +382,34 @@ func benchPBFTThroughput(b *testing.B, pipe *crypto.Pipeline, flows int, auth pb
 const benchBatch = 8
 
 func BenchmarkRSAThroughputSerialSingleFlow(b *testing.B) {
-	benchPBFTThroughput(b, crypto.SerialPipeline(), 1, pbft.AuthSignatures, benchBatch)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.SerialPipeline(), 1, pbft.AuthSignatures, benchBatch)
 }
 
 func BenchmarkRSAThroughputPipelineSingleFlow(b *testing.B) {
-	benchPBFTThroughput(b, crypto.DefaultPipeline(), 1, pbft.AuthSignatures, benchBatch)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.DefaultPipeline(), 1, pbft.AuthSignatures, benchBatch)
 }
 
 func BenchmarkRSAThroughputSerial64Clients(b *testing.B) {
-	benchPBFTThroughput(b, crypto.SerialPipeline(), 64, pbft.AuthSignatures, benchBatch)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.SerialPipeline(), 64, pbft.AuthSignatures, benchBatch)
 }
 
 func BenchmarkRSAThroughputPipeline64Clients(b *testing.B) {
-	benchPBFTThroughput(b, crypto.DefaultPipeline(), 64, pbft.AuthSignatures, benchBatch)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.DefaultPipeline(), 64, pbft.AuthSignatures, benchBatch)
+}
+
+// The same signature-PBFT configurations under the Ed25519 suite: the
+// per-suite rows snapshots compare against the RSAThroughput* set. The
+// benchmark name carries the suite dimension.
+func BenchmarkEd25519ThroughputSerialSingleFlow(b *testing.B) {
+	benchPBFTThroughput(b, crypto.SuiteEd25519, crypto.SerialPipeline(), 1, pbft.AuthSignatures, benchBatch)
+}
+
+func BenchmarkEd25519ThroughputPipelineSingleFlow(b *testing.B) {
+	benchPBFTThroughput(b, crypto.SuiteEd25519, crypto.DefaultPipeline(), 1, pbft.AuthSignatures, benchBatch)
+}
+
+func BenchmarkEd25519ThroughputPipeline64Clients(b *testing.B) {
+	benchPBFTThroughput(b, crypto.SuiteEd25519, crypto.DefaultPipeline(), 64, pbft.AuthSignatures, benchBatch)
 }
 
 // The MAC-vector fast path on the same RSA suite: prepare/commit carry
@@ -403,7 +418,7 @@ func BenchmarkRSAThroughputPipeline64Clients(b *testing.B) {
 // agreement-cluster optimisation (acceptance: ≥1.5× single-flow even
 // on one core, where it cannot hide behind parallelism).
 func BenchmarkMACThroughputSingleFlow(b *testing.B) {
-	benchPBFTThroughput(b, crypto.DefaultPipeline(), 1, pbft.AuthMACVector, benchBatch)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.DefaultPipeline(), 1, pbft.AuthMACVector, benchBatch)
 }
 
 // MACThroughput64Clients runs with batching on (batch 64): under
@@ -412,22 +427,22 @@ func BenchmarkMACThroughputSingleFlow(b *testing.B) {
 // per batch, which is the end-to-end win the batched commit data plane
 // exists for. The MACThroughputBatch* sweep below isolates the knob.
 func BenchmarkMACThroughput64Clients(b *testing.B) {
-	benchPBFTThroughput(b, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 64)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 64)
 }
 
 // Batch-size sweep at 64 concurrent flows: batch 1 restores
 // request-at-a-time semantics (one signature and one position per
 // request), the larger sizes show how far amortization carries.
 func BenchmarkMACThroughputBatch1(b *testing.B) {
-	benchPBFTThroughput(b, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 1)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 1)
 }
 
 func BenchmarkMACThroughputBatch8(b *testing.B) {
-	benchPBFTThroughput(b, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 8)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 8)
 }
 
 func BenchmarkMACThroughputBatch64(b *testing.B) {
-	benchPBFTThroughput(b, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 64)
+	benchPBFTThroughput(b, crypto.SuiteRSA, crypto.DefaultPipeline(), 64, pbft.AuthMACVector, 64)
 }
 
 // --- adaptive batching sweep --------------------------------------------------

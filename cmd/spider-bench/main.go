@@ -13,6 +13,8 @@
 //
 // The default profile is a quick smoke run; -profile paper uses longer
 // runs with RSA-1024 signatures, approximating the paper's fidelity.
+// -suite picks any registered crypto suite (rsa, ed25519, insecure) so
+// every figure can be regenerated per suite.
 package main
 
 import (
@@ -40,7 +42,8 @@ func run() error {
 	clients := flag.Int("clients", 0, "override clients per region")
 	rate := flag.Float64("rate", 0, "override per-client op rate (ops/s)")
 	scale := flag.Float64("scale", 0, "override latency scale (1.0 = calibrated WAN)")
-	rsa := flag.Bool("rsa", false, "force RSA-1024 signatures (paper setup)")
+	rsa := flag.Bool("rsa", false, "force RSA-1024 signatures (shorthand for -suite rsa)")
+	suite := flag.String("suite", "", "crypto suite: rsa, ed25519, insecure (default: the profile's)")
 	sc := flag.Bool("irmc-sc", false, "use the IRMC-SC channel variant in Spider")
 	flag.Parse()
 
@@ -68,12 +71,19 @@ func run() error {
 	if *rsa {
 		p.Suite = crypto.SuiteRSA
 	}
+	if *suite != "" {
+		kind, err := crypto.ParseSuiteKind(*suite)
+		if err != nil {
+			return err
+		}
+		p.Suite = kind
+	}
 	if *sc {
 		p.Channel = core.ChannelSC
 	}
 
 	fmt.Printf("profile: %s (scale=%.2f clients/region=%d rate=%.0f/s duration=%s crypto=%s channel=%s)\n\n",
-		*profile, p.Scale, p.Clients, p.Rate, p.Duration, suiteName(p.Suite), p.Channel)
+		*profile, p.Scale, p.Clients, p.Rate, p.Duration, p.Suite, p.Channel)
 
 	runAll := *figure == "all"
 	start := time.Now()
@@ -140,11 +150,4 @@ func run() error {
 	}
 	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Second))
 	return nil
-}
-
-func suiteName(k crypto.SuiteKind) string {
-	if k == crypto.SuiteRSA {
-		return "rsa-1024"
-	}
-	return "hmac (test)"
 }

@@ -33,6 +33,7 @@ func run() error {
 	configPath := flag.String("config", "deploy.json", "deployment description")
 	id := flag.Int("id", 0, "client id (must have an address entry)")
 	groupID := flag.Int("group", 0, "execution group to contact")
+	cryptoFlag := flag.String("crypto", "", "override the config's crypto suite (rsa, ed25519, insecure)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -42,6 +43,9 @@ func run() error {
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		return err
+	}
+	if *cryptoFlag != "" {
+		cfg.Crypto = *cryptoFlag
 	}
 	self := ids.ClientID(*id)
 	if !self.Valid() {

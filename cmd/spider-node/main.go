@@ -48,12 +48,16 @@ func main() {
 func run() error {
 	configPath := flag.String("config", "deploy.json", "deployment description")
 	id := flag.Int("id", 0, "this replica's node id")
-	genkeys := flag.String("genkeys", "", "generate RSA keys for every node into the directory and exit")
+	genkeys := flag.String("genkeys", "", "generate keys of the configured suite for every node into the directory and exit")
+	cryptoFlag := flag.String("crypto", "", "override the config's crypto suite (rsa, ed25519, insecure)")
 	flag.Parse()
 
 	cfg, err := deploy.Load(*configPath)
 	if err != nil {
 		return err
+	}
+	if *cryptoFlag != "" {
+		cfg.Crypto = *cryptoFlag
 	}
 	if *genkeys != "" {
 		if err := cfg.GenerateKeys(*genkeys); err != nil {

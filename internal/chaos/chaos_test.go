@@ -26,11 +26,13 @@ func convergeBudget() time.Duration {
 func buildSpider(t *testing.T, mutate func(*harness.BuildOptions)) *harness.Cluster {
 	t.Helper()
 	opts := harness.BuildOptions{
-		System:    harness.SystemSpider,
-		Regions:   []topo.Region{topo.Virginia, topo.Oregon},
-		Scale:     0.02,
-		Seed:      7,
-		SuiteKind: crypto.SuiteInsecure,
+		System:  harness.SystemSpider,
+		Regions: []topo.Region{topo.Virginia, topo.Oregon},
+		Scale:   0.02,
+		Seed:    7,
+		// SPIDER_SUITE reruns the chaos matrix under any registered
+		// signature suite (the CI matrix runs soak-smoke under ed25519).
+		SuiteKind: crypto.EnvSuiteKind(crypto.SuiteInsecure),
 		StateDir:  t.TempDir(),
 	}
 	if mutate != nil {

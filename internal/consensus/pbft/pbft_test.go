@@ -62,7 +62,9 @@ func newCluster(t *testing.T, n, f int, mutate func(i int, cfg *Config)) *cluste
 		members[i] = ids.NodeID(i + 1)
 	}
 	group := ids.Group{ID: 1, Members: members, F: f}
-	suites := crypto.NewSuites(members, crypto.SuiteInsecure)
+	// SPIDER_SUITE reruns the whole PBFT suite under any registered
+	// signature suite (the CI matrix runs it under ed25519).
+	suites := crypto.NewSuites(members, crypto.EnvSuiteKind(crypto.SuiteInsecure))
 	net := memnet.New(memnet.Options{})
 
 	c := &cluster{t: t, net: net, group: group}

@@ -102,3 +102,69 @@ func BenchmarkMACSingle(b *testing.B) {
 		}
 	}
 }
+
+// --- per-suite signature micro benches -----------------------------------------
+
+// benchSignSuite runs the sign / verify / sign+verify micro paths of
+// one registered suite over a 256-byte message (a typical consensus
+// frame). Together with BenchmarkMACSingle (the insecure/HMAC path)
+// these give bench snapshots one signature-cost row per suite, with the
+// suite dimension in the benchmark name.
+func benchSignSuite(b *testing.B, kind SuiteKind, mode string) {
+	suites := NewSuites(benchGroup[:2], kind)
+	msg := make([]byte, 256)
+	sig := suites[1].Sign(DomainPBFT, msg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch mode {
+		case "sign":
+			suites[1].Sign(DomainPBFT, msg)
+		case "verify":
+			if err := suites[2].Verify(1, DomainPBFT, msg, sig); err != nil {
+				b.Fatal(err)
+			}
+		default:
+			s := suites[1].Sign(DomainPBFT, msg)
+			if err := suites[2].Verify(1, DomainPBFT, msg, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRSASign(b *testing.B)           { benchSignSuite(b, SuiteRSA, "sign") }
+func BenchmarkRSAVerify(b *testing.B)         { benchSignSuite(b, SuiteRSA, "verify") }
+func BenchmarkRSASignVerify(b *testing.B)     { benchSignSuite(b, SuiteRSA, "both") }
+func BenchmarkEd25519Sign(b *testing.B)       { benchSignSuite(b, SuiteEd25519, "sign") }
+func BenchmarkEd25519Verify(b *testing.B)     { benchSignSuite(b, SuiteEd25519, "verify") }
+func BenchmarkEd25519SignVerify(b *testing.B) { benchSignSuite(b, SuiteEd25519, "both") }
+
+// TestEd25519SignAllocs guards the pooled payload scratch of the
+// Ed25519 suite: signing must allocate only the signature itself plus
+// the small fixed overhead inside crypto/ed25519 (measured at 4
+// allocs/op on this toolchain), and verification must stay at the
+// library's 2. A regression here means the domain-prefix buffer started
+// allocating per call again.
+func TestEd25519SignAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	suites := NewSuites(benchGroup[:2], SuiteEd25519)
+	msg := make([]byte, 256)
+	sig := suites[1].Sign(DomainPBFT, msg) // warm the payload pool
+	signAllocs := testing.AllocsPerRun(200, func() {
+		sig = suites[1].Sign(DomainPBFT, msg)
+	})
+	if signAllocs > 5 {
+		t.Errorf("Ed25519 Sign: %.1f allocs/op, want <= 5", signAllocs)
+	}
+	verifyAllocs := testing.AllocsPerRun(200, func() {
+		if err := suites[2].Verify(1, DomainPBFT, msg, sig); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if verifyAllocs > 3 {
+		t.Errorf("Ed25519 Verify: %.1f allocs/op, want <= 3", verifyAllocs)
+	}
+}

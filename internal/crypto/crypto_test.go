@@ -8,26 +8,23 @@ import (
 	"spider/internal/wire"
 )
 
-// suites under test: both implementations must satisfy the same
-// behavioural contract.
+// suites under test: every registered implementation must satisfy the
+// same behavioural contract. Iterating the registry means a new suite
+// kind is covered by the whole matrix the moment it is registered.
 func testSuites(t *testing.T, n int) map[SuiteKind]map[ids.NodeID]Suite {
 	t.Helper()
 	nodes := make([]ids.NodeID, n)
 	for i := range nodes {
 		nodes[i] = ids.NodeID(i + 1)
 	}
-	return map[SuiteKind]map[ids.NodeID]Suite{
-		SuiteRSA:      NewSuites(nodes, SuiteRSA),
-		SuiteInsecure: NewSuites(nodes, SuiteInsecure),
+	out := make(map[SuiteKind]map[ids.NodeID]Suite)
+	for _, kind := range RegisteredSuiteKinds() {
+		out[kind] = NewSuites(nodes, kind)
 	}
+	return out
 }
 
-func kindName(k SuiteKind) string {
-	if k == SuiteRSA {
-		return "rsa"
-	}
-	return "insecure"
-}
+func kindName(k SuiteKind) string { return k.String() }
 
 func TestSignVerify(t *testing.T) {
 	for kind, suites := range testSuites(t, 3) {

@@ -7,8 +7,29 @@ import (
 	"spider/internal/ids"
 )
 
+// privateKeyID extracts a comparable identity for the suite's signing
+// key, so distinctness checks work across suite implementations.
+func privateKeyID(t *testing.T, n ids.NodeID, s Suite) string {
+	t.Helper()
+	switch impl := s.(type) {
+	case *rsaSuite:
+		if impl.priv == nil {
+			t.Fatalf("node %v: nil private key", n)
+		}
+		return impl.priv.N.String()
+	case *ed25519Suite:
+		if impl.priv == nil {
+			t.Fatalf("node %v: nil private key", n)
+		}
+		return string(impl.priv)
+	default:
+		t.Fatalf("node %v: suite %T has no private key", n, s)
+		return ""
+	}
+}
+
 // checkDistinctKeys asserts every key is present and no two nodes share
-// a modulus.
+// a private key.
 func checkDistinctKeys(t *testing.T, suites map[ids.NodeID]Suite, nodes []ids.NodeID) {
 	t.Helper()
 	seen := make(map[string]ids.NodeID, len(nodes))
@@ -17,18 +38,11 @@ func checkDistinctKeys(t *testing.T, suites map[ids.NodeID]Suite, nodes []ids.No
 		if !ok || s == nil {
 			t.Fatalf("node %v: missing suite", n)
 		}
-		rs, ok := s.(*rsaSuite)
-		if !ok {
-			t.Fatalf("node %v: suite is %T, want *rsaSuite", n, s)
-		}
-		if rs.priv == nil {
-			t.Fatalf("node %v: nil private key", n)
-		}
-		mod := rs.priv.N.String()
-		if prev, dup := seen[mod]; dup {
+		id := privateKeyID(t, n, s)
+		if prev, dup := seen[id]; dup {
 			t.Fatalf("nodes %v and %v share a key", prev, n)
 		}
-		seen[mod] = n
+		seen[id] = n
 	}
 }
 
@@ -75,6 +89,29 @@ func TestDevKeysPrefixStable(t *testing.T) {
 	b := devKeys(4)
 	for i := range b {
 		if a[i] != b[i] {
+			t.Fatalf("key %d differs between calls", i)
+		}
+	}
+}
+
+// TestNewSuitesEd25519KeysDistinct mirrors the RSA distinctness check
+// for the Ed25519 dev-key pool.
+func TestNewSuitesEd25519KeysDistinct(t *testing.T) {
+	nodes := make([]ids.NodeID, 24)
+	for i := range nodes {
+		nodes[i] = ids.NodeID(i + 1)
+	}
+	checkDistinctKeys(t, NewSuites(nodes, SuiteEd25519), nodes)
+}
+
+// TestDevEd25519KeysPrefixStable pins the same prefix-stable handout
+// contract for the Ed25519 pool: suites built by separate NewSuites
+// calls within one process must be able to verify each other.
+func TestDevEd25519KeysPrefixStable(t *testing.T) {
+	a := devEd25519Keys(8)
+	b := devEd25519Keys(4)
+	for i := range b {
+		if !a[i].Equal(b[i]) {
 			t.Fatalf("key %d differs between calls", i)
 		}
 	}

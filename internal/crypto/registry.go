@@ -1,0 +1,221 @@
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/rsa"
+	"fmt"
+	"os"
+	"sort"
+
+	"spider/internal/ids"
+)
+
+// suiteSpec is one entry of the suite registry: everything the rest of
+// the system needs to treat a signature suite as data — its canonical
+// name (config files, manifests, bench labels), its signature size (for
+// capacity hints only; the wire format is length-prefixed and never
+// assumes a size), the in-process dev constructor used by tests and the
+// local-cluster harness, and the on-disk key codec used by the
+// multi-process deployment tooling.
+type suiteSpec struct {
+	name    string
+	sigSize int
+	// keyFiles reports whether the suite stores per-node key pairs in a
+	// key directory. Suites without key files (shared-secret test
+	// crypto) are constructed from the master secret alone.
+	keyFiles bool
+	// devSuites builds compatible suites for all nodes from the
+	// process-global dev key pool (no disk involved).
+	devSuites func(nodes []ids.NodeID, master []byte) map[ids.NodeID]Suite
+	// generateKeyPEM creates one fresh key pair in PEM form.
+	generateKeyPEM func() (priv, pub []byte, err error)
+	// suiteFromKeys builds one node's suite from PEM key material.
+	suiteFromKeys func(self ids.NodeID, priv []byte, pubs map[ids.NodeID][]byte, master []byte) (Suite, error)
+}
+
+// suiteRegistry maps every known SuiteKind to its spec. Adding a suite
+// means adding a constant in pool.go and an entry here; NewSuites, the
+// deploy key tooling, the behavioural test matrix, and the CI suite
+// matrix all pick it up from this table.
+var suiteRegistry = map[SuiteKind]suiteSpec{
+	SuiteRSA: {
+		name:     "rsa",
+		sigSize:  DefaultKeyBits / 8,
+		keyFiles: true,
+		devSuites: func(nodes []ids.NodeID, master []byte) map[ids.NodeID]Suite {
+			keys := devKeys(len(nodes))
+			pubs := make(map[ids.NodeID]*rsa.PublicKey, len(nodes))
+			for i, n := range nodes {
+				pubs[n] = &keys[i].PublicKey
+			}
+			dir := NewDirectory(pubs)
+			suites := make(map[ids.NodeID]Suite, len(nodes))
+			for i, n := range nodes {
+				suites[n] = NewRSASuite(n, keys[i], dir, master)
+			}
+			return suites
+		},
+		generateKeyPEM: func() (priv, pub []byte, err error) {
+			key, err := GenerateKey(DefaultKeyBits)
+			if err != nil {
+				return nil, nil, err
+			}
+			return MarshalPrivateKeyPEM(key), MarshalPublicKeyPEM(&key.PublicKey), nil
+		},
+		suiteFromKeys: func(self ids.NodeID, priv []byte, pubs map[ids.NodeID][]byte, master []byte) (Suite, error) {
+			key, err := ParsePrivateKeyPEM(priv)
+			if err != nil {
+				return nil, err
+			}
+			dir := make(map[ids.NodeID]*rsa.PublicKey, len(pubs))
+			for id, data := range pubs {
+				pub, err := ParsePublicKeyPEM(data)
+				if err != nil {
+					return nil, fmt.Errorf("node %v: %w", id, err)
+				}
+				dir[id] = pub
+			}
+			return NewRSASuite(self, key, NewDirectory(dir), master), nil
+		},
+	},
+	SuiteInsecure: {
+		name:    "insecure",
+		sigSize: DigestSize,
+		devSuites: func(nodes []ids.NodeID, master []byte) map[ids.NodeID]Suite {
+			suites := make(map[ids.NodeID]Suite, len(nodes))
+			for _, n := range nodes {
+				suites[n] = NewInsecureSuite(n, master)
+			}
+			return suites
+		},
+		suiteFromKeys: func(self ids.NodeID, _ []byte, _ map[ids.NodeID][]byte, master []byte) (Suite, error) {
+			return NewInsecureSuite(self, master), nil
+		},
+	},
+	SuiteEd25519: {
+		name:     "ed25519",
+		sigSize:  Ed25519SignatureSize,
+		keyFiles: true,
+		devSuites: func(nodes []ids.NodeID, master []byte) map[ids.NodeID]Suite {
+			keys := devEd25519Keys(len(nodes))
+			pubs := make(map[ids.NodeID]ed25519.PublicKey, len(nodes))
+			for i, n := range nodes {
+				pubs[n] = keys[i].Public().(ed25519.PublicKey)
+			}
+			dir := NewEd25519Directory(pubs)
+			suites := make(map[ids.NodeID]Suite, len(nodes))
+			for i, n := range nodes {
+				suites[n] = NewEd25519Suite(n, keys[i], dir, master)
+			}
+			return suites
+		},
+		generateKeyPEM: func() (priv, pub []byte, err error) {
+			key, err := GenerateEd25519Key()
+			if err != nil {
+				return nil, nil, err
+			}
+			return MarshalEd25519PrivateKeyPEM(key), MarshalEd25519PublicKeyPEM(key.Public().(ed25519.PublicKey)), nil
+		},
+		suiteFromKeys: func(self ids.NodeID, priv []byte, pubs map[ids.NodeID][]byte, master []byte) (Suite, error) {
+			key, err := ParseEd25519PrivateKeyPEM(priv)
+			if err != nil {
+				return nil, err
+			}
+			dir := make(map[ids.NodeID]ed25519.PublicKey, len(pubs))
+			for id, data := range pubs {
+				pub, err := ParseEd25519PublicKeyPEM(data)
+				if err != nil {
+					return nil, fmt.Errorf("node %v: %w", id, err)
+				}
+				dir[id] = pub
+			}
+			return NewEd25519Suite(self, key, NewEd25519Directory(dir), master), nil
+		},
+	},
+}
+
+// spec returns the registry entry for k, panicking on unknown kinds: a
+// SuiteKind not in the registry is a programming error, not input.
+func (k SuiteKind) spec() suiteSpec {
+	s, ok := suiteRegistry[k]
+	if !ok {
+		panic(fmt.Sprintf("crypto: unknown suite kind %d", int(k)))
+	}
+	return s
+}
+
+// String returns the canonical suite name used in config files, key-dir
+// manifests, and benchmark labels.
+func (k SuiteKind) String() string {
+	if s, ok := suiteRegistry[k]; ok {
+		return s.name
+	}
+	return fmt.Sprintf("suite(%d)", int(k))
+}
+
+// ParseSuiteKind maps a canonical suite name back to its kind.
+func ParseSuiteKind(name string) (SuiteKind, error) {
+	for k, s := range suiteRegistry {
+		if s.name == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("crypto: unknown suite %q", name)
+}
+
+// RegisteredSuiteKinds lists every registered suite in stable order, so
+// test matrices and tooling iterate the registry instead of hand-built
+// lists that silently miss new suites.
+func RegisteredSuiteKinds() []SuiteKind {
+	kinds := make([]SuiteKind, 0, len(suiteRegistry))
+	for k := range suiteRegistry {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// SignatureSize returns the suite's signature length in bytes. It is a
+// capacity hint for buffer pre-sizing only: every signature crosses the
+// wire length-prefixed, and verifiers never assume a size.
+func SignatureSize(k SuiteKind) int { return k.spec().sigSize }
+
+// HasKeyFiles reports whether the suite stores per-node key pairs in a
+// key directory (see deploy.GenerateKeys).
+func HasKeyFiles(k SuiteKind) bool { return k.spec().keyFiles }
+
+// GenerateSuiteKeyPEM creates one fresh key pair for the suite in PEM
+// form, for the deployment key tooling.
+func GenerateSuiteKeyPEM(k SuiteKind) (priv, pub []byte, err error) {
+	s := k.spec()
+	if s.generateKeyPEM == nil {
+		return nil, nil, fmt.Errorf("crypto: suite %v has no key files", k)
+	}
+	return s.generateKeyPEM()
+}
+
+// SuiteFromKeys builds one node's suite from PEM key material read from
+// a key directory. Suites without key files ignore priv and pubs and
+// derive everything from the master secret.
+func SuiteFromKeys(k SuiteKind, self ids.NodeID, priv []byte, pubs map[ids.NodeID][]byte, master []byte) (Suite, error) {
+	return k.spec().suiteFromKeys(self, priv, pubs, master)
+}
+
+// EnvSuiteKind returns the suite selected by the SPIDER_SUITE
+// environment variable, or def when it is unset. Test helpers that
+// would otherwise hardwire a suite (the PBFT cluster harness, the IRMC
+// conformance suite, the chaos scenarios) route through this so the CI
+// suite matrix can re-run them under any registered suite. An
+// unparseable value panics: a matrix leg silently falling back to the
+// default suite would pass without testing anything.
+func EnvSuiteKind(def SuiteKind) SuiteKind {
+	name := os.Getenv("SPIDER_SUITE")
+	if name == "" {
+		return def
+	}
+	k, err := ParseSuiteKind(name)
+	if err != nil {
+		panic(fmt.Sprintf("crypto: SPIDER_SUITE: %v", err))
+	}
+	return k
+}

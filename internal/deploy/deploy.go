@@ -5,13 +5,13 @@ package deploy
 
 import (
 	"crypto/rand"
-	"crypto/rsa"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"spider/internal/core"
 	"spider/internal/crypto"
@@ -37,10 +37,12 @@ func (g GroupSpec) Group() ids.Group {
 
 // Config is the on-disk deployment description.
 type Config struct {
-	// Crypto selects "insecure" (shared-secret test crypto) or "rsa"
-	// (keys loaded from KeyDir, see GenerateKeys).
+	// Crypto selects the signature suite: "insecure" (shared-secret
+	// test crypto), "rsa" (RSA-1024 as in the paper), or "ed25519".
+	// Key-file suites load their keys from KeyDir, see GenerateKeys.
 	Crypto string `json:"crypto"`
-	// KeyDir holds <id>.key (private) and <id>.pub files for "rsa".
+	// KeyDir holds <id>.key (private) and <id>.pub files plus a
+	// `suite` manifest naming the suite the keys belong to.
 	KeyDir string `json:"key_dir,omitempty"`
 	// Agreement is the agreement group.
 	Agreement GroupSpec `json:"agreement"`
@@ -158,46 +160,94 @@ func (c *Config) groupSecret() ([]byte, error) {
 	return data, nil
 }
 
-// Suite builds the crypto suite for one node per the config.
-func (c *Config) Suite(self ids.NodeID) (crypto.Suite, error) {
-	switch c.Crypto {
-	case "insecure":
-		return crypto.NewInsecureSuite(self, masterSecret), nil
-	case "rsa":
-		priv, err := os.ReadFile(filepath.Join(c.KeyDir, fmt.Sprintf("%d.key", int32(self))))
-		if err != nil {
-			return nil, fmt.Errorf("deploy: private key: %w", err)
-		}
-		key, err := crypto.ParsePrivateKeyPEM(priv)
-		if err != nil {
-			return nil, err
-		}
-		pubs := make(map[ids.NodeID]*rsa.PublicKey)
-		for _, id := range c.AllNodes() {
-			data, err := os.ReadFile(filepath.Join(c.KeyDir, fmt.Sprintf("%d.pub", int32(id))))
-			if err != nil {
-				return nil, fmt.Errorf("deploy: public key of %v: %w", id, err)
-			}
-			pub, err := crypto.ParsePublicKeyPEM(data)
-			if err != nil {
-				return nil, err
-			}
-			pubs[id] = pub
-		}
-		secret, err := c.groupSecret()
-		if err != nil {
-			return nil, err
-		}
-		return crypto.NewRSASuite(self, key, crypto.NewDirectory(pubs), secret), nil
-	default:
-		return nil, fmt.Errorf("deploy: unknown crypto %q", c.Crypto)
+// suiteManifestFile is the self-describing suite manifest written into
+// every generated key directory: one line naming the suite the keys
+// belong to. Directories that predate the manifest hold RSA keys, so a
+// missing manifest means RSA (pinned by a compat test).
+const suiteManifestFile = "suite"
+
+// SuiteKind parses the config's crypto field into a registered suite.
+func (c *Config) SuiteKind() (crypto.SuiteKind, error) {
+	kind, err := crypto.ParseSuiteKind(c.Crypto)
+	if err != nil {
+		return 0, fmt.Errorf("deploy: unknown crypto %q", c.Crypto)
 	}
+	return kind, nil
 }
 
-// GenerateKeys writes an RSA key pair for every node into dir, plus a
-// fresh random group secret from which the deployment's pairwise MAC
-// keys derive.
+// keyDirSuite reads the key directory's suite manifest. A missing
+// manifest means a legacy RSA directory.
+func (c *Config) keyDirSuite() (crypto.SuiteKind, error) {
+	data, err := os.ReadFile(filepath.Join(c.KeyDir, suiteManifestFile))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return crypto.SuiteRSA, nil
+	case err != nil:
+		return 0, fmt.Errorf("deploy: suite manifest: %w", err)
+	}
+	kind, err := crypto.ParseSuiteKind(strings.TrimSpace(string(data)))
+	if err != nil {
+		return 0, fmt.Errorf("deploy: suite manifest %s: %w",
+			filepath.Join(c.KeyDir, suiteManifestFile), err)
+	}
+	return kind, nil
+}
+
+// Suite builds the crypto suite for one node per the config. For
+// key-file suites the key directory's manifest must agree with the
+// configured suite: failing loudly here turns what would otherwise be
+// a confusing PEM parse error (or worse, a deployment where half the
+// nodes reject the other half's signatures) into an immediate,
+// explicit mismatch report.
+func (c *Config) Suite(self ids.NodeID) (crypto.Suite, error) {
+	kind, err := c.SuiteKind()
+	if err != nil {
+		return nil, err
+	}
+	if !crypto.HasKeyFiles(kind) {
+		return crypto.SuiteFromKeys(kind, self, nil, nil, masterSecret)
+	}
+	dirKind, err := c.keyDirSuite()
+	if err != nil {
+		return nil, err
+	}
+	if dirKind != kind {
+		return nil, fmt.Errorf("deploy: config selects crypto %q but key dir %s holds %q keys (regenerate with -genkeys or fix the config)",
+			kind, c.KeyDir, dirKind)
+	}
+	priv, err := os.ReadFile(filepath.Join(c.KeyDir, fmt.Sprintf("%d.key", int32(self))))
+	if err != nil {
+		return nil, fmt.Errorf("deploy: private key: %w", err)
+	}
+	pubs := make(map[ids.NodeID][]byte)
+	for _, id := range c.AllNodes() {
+		data, err := os.ReadFile(filepath.Join(c.KeyDir, fmt.Sprintf("%d.pub", int32(id))))
+		if err != nil {
+			return nil, fmt.Errorf("deploy: public key of %v: %w", id, err)
+		}
+		pubs[id] = data
+	}
+	secret, err := c.groupSecret()
+	if err != nil {
+		return nil, err
+	}
+	return crypto.SuiteFromKeys(kind, self, priv, pubs, secret)
+}
+
+// GenerateKeys writes a key pair of the configured suite for every node
+// into dir, plus a suite manifest naming that suite and a fresh random
+// group secret from which the deployment's pairwise MAC keys derive.
+// Configs using a suite without key files (insecure) generate RSA
+// material, matching the historical behavior of pre-provisioning a dir
+// that an "rsa" config can later point at.
 func (c *Config) GenerateKeys(dir string) error {
+	kind, err := c.SuiteKind()
+	if err != nil {
+		return err
+	}
+	if !crypto.HasKeyFiles(kind) {
+		kind = crypto.SuiteRSA
+	}
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return fmt.Errorf("deploy: %w", err)
 	}
@@ -208,16 +258,19 @@ func (c *Config) GenerateKeys(dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, groupSecretFile), secret, 0o600); err != nil {
 		return fmt.Errorf("deploy: %w", err)
 	}
+	if err := os.WriteFile(filepath.Join(dir, suiteManifestFile), []byte(kind.String()+"\n"), 0o644); err != nil {
+		return fmt.Errorf("deploy: %w", err)
+	}
 	for _, id := range c.AllNodes() {
-		key, err := crypto.GenerateKey(crypto.DefaultKeyBits)
+		priv, pub, err := crypto.GenerateSuiteKeyPEM(kind)
 		if err != nil {
 			return err
 		}
 		base := filepath.Join(dir, fmt.Sprint(int32(id)))
-		if err := os.WriteFile(base+".key", crypto.MarshalPrivateKeyPEM(key), 0o600); err != nil {
+		if err := os.WriteFile(base+".key", priv, 0o600); err != nil {
 			return fmt.Errorf("deploy: %w", err)
 		}
-		if err := os.WriteFile(base+".pub", crypto.MarshalPublicKeyPEM(&key.PublicKey), 0o644); err != nil {
+		if err := os.WriteFile(base+".pub", pub, 0o644); err != nil {
 			return fmt.Errorf("deploy: %w", err)
 		}
 	}

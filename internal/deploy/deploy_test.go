@@ -3,6 +3,7 @@ package deploy
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"spider/internal/crypto"
@@ -136,5 +137,119 @@ func TestUnknownCrypto(t *testing.T) {
 	cfg.Crypto = "quantum"
 	if _, err := cfg.Suite(1); err == nil {
 		t.Error("unknown crypto accepted")
+	}
+}
+
+func TestGenerateAndLoadEd25519Keys(t *testing.T) {
+	cfg, err := Load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Crypto = "ed25519"
+	dir := t.TempDir()
+	if err := cfg.GenerateKeys(dir); err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, suiteManifestFile))
+	if err != nil {
+		t.Fatalf("suite manifest not written: %v", err)
+	}
+	if got := string(manifest); got != "ed25519\n" {
+		t.Errorf("manifest = %q, want %q", got, "ed25519\n")
+	}
+	cfg.KeyDir = dir
+	s1, err := cfg.Suite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s11, err := cfg.Suite(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	sig := s1.Sign(crypto.DomainPBFT, msg)
+	if len(sig) != crypto.Ed25519SignatureSize {
+		t.Errorf("signature size = %d, want %d", len(sig), crypto.Ed25519SignatureSize)
+	}
+	if err := s11.Verify(1, crypto.DomainPBFT, msg, sig); err != nil {
+		t.Errorf("ed25519 cross verify: %v", err)
+	}
+	if err := s11.Verify(2, crypto.DomainPBFT, msg, sig); err == nil {
+		t.Error("wrong signer accepted")
+	}
+	if err := s11.VerifyMAC(1, crypto.DomainReply, msg, s1.MAC(11, crypto.DomainReply, msg)); err != nil {
+		t.Errorf("MAC between generated suites: %v", err)
+	}
+}
+
+// TestSuiteManifestMismatch pins the loud-failure contract: pointing a
+// config at a key dir generated for a different suite must fail with an
+// explicit mismatch error naming both suites, not a PEM parse error.
+func TestSuiteManifestMismatch(t *testing.T) {
+	cfg, err := Load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Crypto = "ed25519"
+	dir := t.TempDir()
+	if err := cfg.GenerateKeys(dir); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Crypto = "rsa"
+	cfg.KeyDir = dir
+	_, err = cfg.Suite(1)
+	if err == nil {
+		t.Fatal("suite/key-dir mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "rsa") || !strings.Contains(err.Error(), "ed25519") {
+		t.Errorf("mismatch error does not name both suites: %v", err)
+	}
+	// A corrupt manifest is also a loud error, not a fallback.
+	if err := os.WriteFile(filepath.Join(dir, suiteManifestFile), []byte("quantum\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Suite(1); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+}
+
+// TestLegacyKeyDirLoadsAsRSA pins backward compatibility: a key dir
+// without a suite manifest (generated before manifests existed) keeps
+// meaning RSA.
+func TestLegacyKeyDirLoadsAsRSA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RSA key generation")
+	}
+	cfg, err := Load(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := cfg.GenerateKeys(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a pre-manifest directory.
+	if err := os.Remove(filepath.Join(dir, suiteManifestFile)); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Crypto = "rsa"
+	cfg.KeyDir = dir
+	s1, err := cfg.Suite(1)
+	if err != nil {
+		t.Fatalf("legacy manifest-less dir rejected: %v", err)
+	}
+	s2, err := cfg.Suite(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := s1.Sign(crypto.DomainPBFT, []byte("m"))
+	if err := s2.Verify(1, crypto.DomainPBFT, []byte("m"), sig); err != nil {
+		t.Errorf("legacy rsa verify: %v", err)
+	}
+	// And an ed25519 config pointed at a legacy (RSA) dir still fails
+	// loudly rather than mis-parsing the keys.
+	cfg.Crypto = "ed25519"
+	if _, err := cfg.Suite(1); err == nil {
+		t.Error("ed25519 config accepted a manifest-less RSA key dir")
 	}
 }

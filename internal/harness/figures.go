@@ -109,6 +109,7 @@ func regionLabel(r topo.Region) string {
 // batches actually were.
 type LatencyRow struct {
 	System  string
+	Suite   string // crypto suite the numbers were measured under
 	Leader  string
 	Region  topo.Region
 	Summary stats.Summary
@@ -139,6 +140,7 @@ func runLatency(p RunProfile, system System, label string, kind core.RequestKind
 	for _, region := range cluster.Opts.Regions {
 		rows = append(rows, LatencyRow{
 			System:  string(system),
+			Suite:   p.Suite.String(),
 			Leader:  label,
 			Region:  region,
 			Summary: recorders[region].Summarize(),
@@ -335,10 +337,10 @@ func Figure10(p RunProfile, kind core.RequestKind) (map[string][]TimelinePoint, 
 func RenderLatencyRows(title string, rows []LatencyRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", title)
-	fmt.Fprintf(&b, "%-10s %-20s %-3s %10s %10s %6s\n", "system", "leader", "loc", "p50[ms]", "p90[ms]", "n")
+	fmt.Fprintf(&b, "%-10s %-8s %-20s %-3s %10s %10s %6s\n", "system", "suite", "leader", "loc", "p50[ms]", "p90[ms]", "n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %-20s %-3s %10.1f %10.1f %6d\n",
-			r.System, r.Leader, regionLabel(r.Region),
+		fmt.Fprintf(&b, "%-10s %-8s %-20s %-3s %10.1f %10.1f %6d\n",
+			r.System, r.Suite, r.Leader, regionLabel(r.Region),
 			float64(r.Summary.P50)/float64(time.Millisecond),
 			float64(r.Summary.P90)/float64(time.Millisecond),
 			r.Summary.Count)

@@ -21,6 +21,7 @@ import (
 // implementation at one message size.
 type IRMCRow struct {
 	Impl        string  // "IRMC-RC" or "IRMC-SC"
+	Suite       string  // crypto suite the numbers were measured under
 	MessageSize int     // bytes
 	Throughput  float64 // delivered messages per second (per receiver)
 	SenderCPU   float64 // mean utilisation per sender endpoint
@@ -197,6 +198,7 @@ func RunIRMCBench(opts IRMCBenchOptions) (IRMCRow, error) {
 	}
 	return IRMCRow{
 		Impl:        impl,
+		Suite:       opts.Suite.String(),
 		MessageSize: opts.Size,
 		Throughput:  float64(delivered.Load()) / secs,
 		SenderCPU:   senderMeter.Utilization(elapsed) / float64(len(sendEps)),
@@ -235,11 +237,11 @@ func Figure9BCD(p RunProfile, sizes []int) ([]IRMCRow, error) {
 func RenderIRMCRows(title string, rows []IRMCRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", title)
-	fmt.Fprintf(&b, "%-8s %8s %12s %10s %10s %10s %10s\n",
-		"impl", "size[B]", "msg/s", "sndCPU", "rcvCPU", "WAN[MB/s]", "LAN[MB/s]")
+	fmt.Fprintf(&b, "%-8s %-8s %8s %12s %10s %10s %10s %10s\n",
+		"impl", "suite", "size[B]", "msg/s", "sndCPU", "rcvCPU", "WAN[MB/s]", "LAN[MB/s]")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %8d %12.0f %9.1f%% %9.1f%% %10.2f %10.2f\n",
-			r.Impl, r.MessageSize, r.Throughput,
+		fmt.Fprintf(&b, "%-8s %-8s %8d %12.0f %9.1f%% %9.1f%% %10.2f %10.2f\n",
+			r.Impl, r.Suite, r.MessageSize, r.Throughput,
 			100*r.SenderCPU, 100*r.ReceiverCPU, r.WANMBps, r.LANMBps)
 	}
 	return b.String()

@@ -52,11 +52,14 @@ func Groups() (senders, receivers ids.Group) {
 	return senders, receivers
 }
 
-// Suites builds crypto suites for all test nodes.
+// Suites builds crypto suites for all test nodes. The suite kind
+// defaults to the fast test crypto and can be overridden with
+// SPIDER_SUITE (the CI suite matrix runs the conformance suite under
+// every registered signature suite this way).
 func Suites() map[ids.NodeID]crypto.Suite {
 	s, r := Groups()
 	all := append(append([]ids.NodeID{}, s.Members...), r.Members...)
-	return crypto.NewSuites(all, crypto.SuiteInsecure)
+	return crypto.NewSuites(all, crypto.EnvSuiteKind(crypto.SuiteInsecure))
 }
 
 // receiveResult carries the outcome of an asynchronous Receive.

@@ -184,6 +184,9 @@ type LocalClusterOptions struct {
 	// RealCrypto selects RSA-1024 signatures as in the paper;
 	// the default uses fast HMAC-based test crypto.
 	RealCrypto bool
+	// Suite names any registered crypto suite ("rsa", "ed25519",
+	// "insecure") and takes precedence over RealCrypto when set.
+	Suite string
 	// UseIRMCSC selects the sender-side-collection channel variant.
 	UseIRMCSC bool
 	// Shards runs this many independent agreement sessions over a
@@ -222,6 +225,13 @@ func NewLocalCluster(opts LocalClusterOptions) (*LocalCluster, error) {
 	suite := crypto.SuiteInsecure
 	if opts.RealCrypto {
 		suite = crypto.SuiteRSA
+	}
+	if opts.Suite != "" {
+		kind, err := crypto.ParseSuiteKind(opts.Suite)
+		if err != nil {
+			return nil, err
+		}
+		suite = kind
 	}
 	channel := core.ChannelRC
 	if opts.UseIRMCSC {
